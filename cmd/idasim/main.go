@@ -1,0 +1,132 @@
+// Command idasim runs one workload on one simulated SSD configuration and
+// prints the measurements.
+//
+// Usage:
+//
+//	idasim -workload usr_1 [-requests N] [-ida] [-error 0.2]
+//	       [-deltatr 50us] [-bits 3] [-late]
+//	idasim -trace trace.csv [-ida] ...
+//
+// With -trace, the file is parsed in the MSR Cambridge CSV format
+// (Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"idaflash"
+	"idaflash/internal/ssd"
+	"idaflash/internal/workload"
+)
+
+func main() {
+	var (
+		name      = flag.String("workload", "usr_1", "paper workload profile name (see Table III)")
+		tracePath = flag.String("trace", "", "replay an MSR-format CSV trace instead of a synthetic profile")
+		requests  = flag.Int("requests", 40000, "host requests for the synthetic trace")
+		ida       = flag.Bool("ida", false, "enable the IDA coding")
+		errRate   = flag.Float64("error", 0.2, "voltage-adjustment error rate (with -ida)")
+		deltaTR   = flag.Duration("deltatr", 0, "override delta-tR (e.g. 70us); 0 keeps the device default")
+		bits      = flag.Int("bits", 3, "bits per cell: 2 (MLC), 3 (TLC), 4 (QLC)")
+		late      = flag.Bool("late", false, "simulate the late SSD lifetime (LDPC read retries)")
+		asJSON    = flag.Bool("json", false, "emit the full Results struct as JSON")
+	)
+	flag.Parse()
+
+	sys := idaflash.Baseline()
+	if *ida {
+		sys = idaflash.IDA(*errRate)
+	}
+	sys.DeltaTR = *deltaTR
+	sys.BitsPerCell = *bits
+	if *late {
+		sys.Lifetime = idaflash.PhaseLate
+	}
+
+	var res idaflash.Results
+	var err error
+	if *tracePath != "" {
+		res, err = runTrace(*tracePath, sys)
+	} else {
+		var p idaflash.Profile
+		p, err = idaflash.ProfileByName(*name, *requests)
+		if err == nil {
+			res, err = idaflash.RunWorkload(p, sys)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			System string
+			idaflash.Results
+		}{sys.Name, res}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	report(sys, res)
+}
+
+// runTrace replays an MSR CSV file on a device sized for it.
+func runTrace(path string, sys idaflash.System) (idaflash.Results, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return idaflash.Results{}, err
+	}
+	defer f.Close()
+	tr, err := workload.ParseMSR(path, f)
+	if err != nil {
+		return idaflash.Results{}, err
+	}
+	stats := tr.Stats()
+	// Build the device around the trace footprint; BuildConfig handles
+	// timing, refresh period, and the ECC regime.
+	p := idaflash.Profile{
+		Name:        "trace",
+		ReadRatio:   stats.ReadRatio,
+		MeanReadKB:  stats.MeanReadKB,
+		FootprintMB: stats.FootprintMB + 1,
+		Requests:    stats.Requests,
+		Duration:    stats.Span + time.Second,
+	}
+	if p.MeanReadKB == 0 {
+		p.MeanReadKB = 8
+	}
+	cfg, _, err := idaflash.BuildConfig(p, sys)
+	if err != nil {
+		return idaflash.Results{}, err
+	}
+	dev, err := idaflash.NewSSD(cfg)
+	if err != nil {
+		return idaflash.Results{}, err
+	}
+	return dev.Run(tr, ssd.RunOptions{})
+}
+
+func report(sys idaflash.System, r idaflash.Results) {
+	fmt.Printf("system:               %s\n", sys.Name)
+	fmt.Printf("trace:                %s\n", r.Trace)
+	fmt.Printf("read requests:        %d\n", r.ReadRequests)
+	fmt.Printf("write requests:       %d\n", r.WriteRequests)
+	fmt.Printf("mean read response:   %v\n", r.MeanReadResponse.Round(time.Microsecond))
+	fmt.Printf("p99 read response:    %v\n", r.P99ReadResponse.Round(time.Microsecond))
+	fmt.Printf("mean write response:  %v\n", r.MeanWriteResponse.Round(time.Microsecond))
+	fmt.Printf("throughput:           %.1f MB/s (reads %.1f MB/s)\n", r.ThroughputMBps, r.ReadMBps)
+	fmt.Printf("makespan:             %v\n", r.Makespan.Round(time.Millisecond))
+	fmt.Printf("refreshes:            %d (%d with IDA, %d WLs adjusted)\n",
+		r.FTL.Refreshes, r.FTL.IDARefreshes, r.FTL.IDAAdjustedWLs)
+	fmt.Printf("reads from IDA WLs:   %d of %d\n", r.FTL.ReadsFromIDA, r.FTL.HostReads)
+	fmt.Printf("GC jobs:              %d (%d erases)\n", r.FTL.GCJobs, r.FTL.Erases)
+	fmt.Printf("in-use blocks (peak): %d of %d (%d IDA at peak)\n", r.PeakInUse, r.Usage.Total, r.PeakIDA)
+	fmt.Printf("simulated events:     %d\n", r.Events)
+}

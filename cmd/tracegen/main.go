@@ -1,0 +1,100 @@
+// Command tracegen emits synthetic workload traces in the MSR Cambridge
+// CSV format, so they can be inspected, archived, or replayed with
+// idasim -trace.
+//
+// Usage:
+//
+//	tracegen -workload proj_1 [-requests N] [-seed S] [-o trace.csv]
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"idaflash"
+	"idaflash/internal/workload"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "proj_1", "profile name (see -list)")
+		requests = flag.Int("requests", 40000, "number of requests")
+		seed     = flag.Int64("seed", 0, "override the profile's seed (0 keeps the default)")
+		out      = flag.String("o", "", "output file (default stdout)")
+		list     = flag.Bool("list", false, "list available profiles and exit")
+		stat     = flag.String("stats", "", "print Table III-style statistics of an MSR CSV file and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range append(idaflash.PaperProfiles(0), idaflash.ExtraProfiles(0)...) {
+			fmt.Printf("%-8s read-ratio %.1f%%  mean-read %.1f KB\n", p.Name, p.ReadRatio*100, p.MeanReadKB)
+		}
+		return
+	}
+	if *stat != "" {
+		if err := printStats(*stat); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	p, err := idaflash.ProfileByName(*name, *requests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	tr, err := p.Generate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := workload.WriteMSR(w, tr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s := tr.Stats()
+	fmt.Fprintf(os.Stderr, "%s: %d requests, read ratio %.1f%%, mean read %.1f KB, footprint %.0f MB, span %v\n",
+		tr.Name, s.Requests, s.ReadRatio*100, s.MeanReadKB, s.FootprintMB, s.Span)
+}
+
+// printStats parses an MSR CSV file and prints its Table III-style
+// characteristics.
+func printStats(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := workload.ParseMSR(path, f)
+	if err != nil {
+		return err
+	}
+	s := tr.Stats()
+	fmt.Printf("trace:           %s\n", path)
+	fmt.Printf("requests:        %d\n", s.Requests)
+	fmt.Printf("read ratio:      %.2f%%\n", s.ReadRatio*100)
+	fmt.Printf("mean read size:  %.2f KB\n", s.MeanReadKB)
+	fmt.Printf("mean write size: %.2f KB\n", s.MeanWriteKB)
+	fmt.Printf("read data ratio: %.2f%%\n", s.ReadDataRatio*100)
+	fmt.Printf("footprint:       %.1f MB\n", s.FootprintMB)
+	fmt.Printf("span:            %v\n", s.Span)
+	return nil
+}

@@ -1,0 +1,63 @@
+// Sensitivity explores how the IDA benefit changes with the device: the
+// delta-tR sweep of Figure 9, the MLC device of Table V, the QLC extension,
+// and the late-lifetime read-retry regime of Figure 11, all on a single
+// workload so it runs in seconds.
+//
+//	go run ./examples/sensitivity
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"idaflash"
+)
+
+func improvement(p idaflash.Profile, base, sys idaflash.System) float64 {
+	b, err := idaflash.RunWorkload(p, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	i, err := idaflash.RunWorkload(p, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return 1 - i.MeanReadResponse.Seconds()/b.MeanReadResponse.Seconds()
+}
+
+func main() {
+	profile, err := idaflash.ProfileByName("stg_1", 12000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s\n\n", profile.Name)
+
+	fmt.Println("delta-tR sweep (Figure 9; improvement of IDA-E20 over baseline):")
+	for _, d := range []time.Duration{30, 50, 70} {
+		base := idaflash.Baseline()
+		base.DeltaTR = d * time.Microsecond
+		ida := idaflash.IDA(0.20)
+		ida.DeltaTR = d * time.Microsecond
+		fmt.Printf("  delta-tR %2dus: %5.1f%%\n", d, improvement(profile, base, ida)*100)
+	}
+
+	fmt.Println("\nbit density (Table V and the QLC future-work extension):")
+	for _, bits := range []int{2, 3, 4} {
+		base := idaflash.Baseline()
+		base.BitsPerCell = bits
+		ida := idaflash.IDA(0.20)
+		ida.BitsPerCell = bits
+		label := map[int]string{2: "MLC", 3: "TLC", 4: "QLC"}[bits]
+		fmt.Printf("  %s: %5.1f%%\n", label, improvement(profile, base, ida)*100)
+	}
+
+	fmt.Println("\nlifetime phase (Figure 11):")
+	for _, phase := range []idaflash.LifetimePhase{idaflash.PhaseEarly, idaflash.PhaseLate} {
+		base := idaflash.Baseline()
+		base.Lifetime = phase
+		ida := idaflash.IDA(0.20)
+		ida.Lifetime = phase
+		fmt.Printf("  %-5v: %5.1f%%\n", phase, improvement(profile, base, ida)*100)
+	}
+}

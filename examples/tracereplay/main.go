@@ -1,0 +1,72 @@
+// Tracereplay demonstrates the trace I/O path: generate a synthetic trace,
+// serialize it in the MSR Cambridge CSV format, parse it back, and replay
+// it on a custom-configured SSD — the workflow for users replaying real
+// MSR traces.
+//
+//	go run ./examples/tracereplay
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"idaflash"
+	"idaflash/internal/ssd"
+	"idaflash/internal/workload"
+)
+
+func main() {
+	// 1. Generate a synthetic workload and serialize it as MSR CSV.
+	profile, err := idaflash.ProfileByName("hm_1", 8000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := profile.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := workload.WriteMSR(&csv, trace); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serialized %d requests to %d bytes of MSR CSV\n", len(trace.Requests), csv.Len())
+
+	// 2. Parse it back, exactly as one would parse a downloaded trace.
+	parsed, err := workload.ParseMSR("hm_1-replay", &csv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := parsed.Stats()
+	fmt.Printf("parsed: %.1f%% reads, mean read %.1f KB, footprint %.0f MB, span %v\n",
+		stats.ReadRatio*100, stats.MeanReadKB, stats.FootprintMB, stats.Span.Round(time.Second))
+
+	// 3. Build a custom device by hand (rather than via RunWorkload) and
+	// replay the parsed trace on it, with and without IDA coding.
+	for _, useIDA := range []bool{false, true} {
+		sys := idaflash.Baseline()
+		if useIDA {
+			sys = idaflash.IDA(0.20)
+		}
+		cfg, _, err := idaflash.BuildConfig(profile, sys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev, err := idaflash.NewSSD(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pre, err := profile.AgingPreamble()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := dev.Run(parsed, ssd.RunOptions{Preamble: pre})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s mean read response %v, p99 %v\n", sys.Name,
+			res.MeanReadResponse.Round(time.Microsecond),
+			res.P99ReadResponse.Round(time.Microsecond))
+	}
+}

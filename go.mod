@@ -1,0 +1,3 @@
+module idaflash
+
+go 1.22

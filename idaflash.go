@@ -1,0 +1,315 @@
+// Package idaflash is a discrete-event SSD simulator reproducing "Invalid
+// Data-Aware Coding to Enhance the Read Performance of High-Density Flash
+// Memories" (Choi, Jung, Kandemir; MICRO 2018).
+//
+// High-density (MLC/TLC/QLC) flash stores several logical pages per
+// wordline, and the slower pages need more wordline sensings to read. The
+// paper's observation: once the fast (LSB) page of a wordline is
+// invalidated by an overwrite, the conventional coding keeps paying the
+// full sensing cost for the remaining pages. Its IDA coding merges the
+// now-duplicated voltage states during the periodic data refresh, cutting
+// CSB reads from two sensings to one and MSB reads from four to two (or
+// one), at no reliability cost because refresh already holds an error-free
+// copy of every page.
+//
+// This package is the public facade: device construction, workload
+// profiles matching the paper's Table III, and a one-call experiment
+// runner. The substrates live in internal/ packages (coding, flash, sim,
+// ecc, ftl, ssd, workload) and are re-exported here as type aliases where
+// users need them.
+//
+// Quick start:
+//
+//	profile, _ := idaflash.ProfileByName("usr_1", 20000)
+//	base, _ := idaflash.RunWorkload(profile, idaflash.Baseline())
+//	ida, _ := idaflash.RunWorkload(profile, idaflash.IDA(0.20))
+//	fmt.Printf("read response: %v -> %v\n",
+//		base.MeanReadResponse, ida.MeanReadResponse)
+package idaflash
+
+import (
+	"fmt"
+	"time"
+
+	"idaflash/internal/coding"
+	"idaflash/internal/ecc"
+	"idaflash/internal/flash"
+	"idaflash/internal/ftl"
+	"idaflash/internal/ssd"
+	"idaflash/internal/workload"
+)
+
+// Re-exported building blocks. These are aliases, so values flow freely
+// between the facade and the internal packages.
+type (
+	// Profile parameterizes the synthetic workload generator.
+	Profile = workload.Profile
+	// Trace is an ordered host request stream.
+	Trace = workload.Trace
+	// Request is one host I/O.
+	Request = workload.Request
+	// TraceStats are Table III-style trace characteristics.
+	TraceStats = workload.TraceStats
+	// Geometry is the physical device shape.
+	Geometry = flash.Geometry
+	// TimingSpec is the device timing (reads, program, erase, bus, ECC).
+	TimingSpec = flash.TimingSpec
+	// Scheme is a cell coding (state-to-bits assignment).
+	Scheme = coding.Scheme
+	// PageType identifies a page within a wordline (LSB/CSB/MSB/...).
+	PageType = coding.PageType
+	// ValidMask records which pages of a wordline are still valid.
+	ValidMask = coding.ValidMask
+	// Merged is the result of the IDA voltage adjustment on a wordline.
+	Merged = coding.Merged
+	// Plan is the per-wordline Table I refresh decision.
+	Plan = coding.Plan
+	// SSD is a simulated device instance.
+	SSD = ssd.SSD
+	// SSDConfig fully describes a device.
+	SSDConfig = ssd.Config
+	// FTLOptions configures the translation layer.
+	FTLOptions = ftl.Options
+	// ECCParams configures the decode/read-retry model.
+	ECCParams = ecc.Params
+	// LifetimePhase selects the early or late device-age regime.
+	LifetimePhase = ecc.LifetimePhase
+	// Results carries everything one simulation run measures.
+	Results = ssd.Results
+	// RunOptions controls warmup and prefill.
+	RunOptions = ssd.RunOptions
+)
+
+// Lifetime phases (Figure 11).
+const (
+	PhaseEarly = ecc.PhaseEarly
+	PhaseLate  = ecc.PhaseLate
+)
+
+// Conventional TLC page names.
+const (
+	LSB = coding.LSB
+	CSB = coding.CSB
+	MSB = coding.MSB
+)
+
+// MaskAll returns the wordline validity mask with the lowest n pages valid.
+func MaskAll(n int) ValidMask { return coding.MaskAll(n) }
+
+// NewSSD builds a simulated device.
+func NewSSD(cfg SSDConfig) (*SSD, error) { return ssd.New(cfg) }
+
+// NewGrayCoding returns the standard Gray coding for the given bits/cell
+// (Figure 2 for TLC, Figure 6 for QLC).
+func NewGrayCoding(bits int) *Scheme { return coding.NewGray(bits) }
+
+// Vendor232TLC returns the alternative 2-3-2 TLC coding from Section III-B.
+func Vendor232TLC() *Scheme { return coding.Vendor232TLC() }
+
+// PaperGeometry returns the Table II 512 GB TLC device shape.
+func PaperGeometry() Geometry { return flash.PaperTLC() }
+
+// PaperTiming returns the Table II TLC timing values.
+func PaperTiming() TimingSpec { return flash.PaperTLCTiming() }
+
+// PaperMLCTiming returns the Section V-G MLC timing values.
+func PaperMLCTiming() TimingSpec { return flash.PaperMLCTiming() }
+
+// PaperProfiles returns the eleven synthetic stand-ins for the paper's MSR
+// Cambridge workloads (Table III).
+func PaperProfiles(requests int) []Profile { return workload.PaperProfiles(requests) }
+
+// ExtraProfiles returns the nine additional read-ratio-categorized
+// workloads of Figure 4 (right).
+func ExtraProfiles(requests int) []Profile { return workload.ExtraProfiles(requests) }
+
+// ProfileByName looks up a paper or extra profile.
+func ProfileByName(name string, requests int) (Profile, error) {
+	return workload.ProfileByName(name, requests)
+}
+
+// System describes one of the evaluated device configurations (Section
+// IV-C): the baseline, or IDA coding under an error rate, possibly with
+// modified timing, bit density, or lifetime phase.
+type System struct {
+	// Name labels the system in reports ("Baseline", "IDA-E20", ...).
+	Name string
+	// IDA enables the invalid-data-aware refresh.
+	IDA bool
+	// ErrorRate is the voltage-adjustment corruption probability
+	// (0.20 for the paper's IDA-Coding-E20).
+	ErrorRate float64
+	// DeltaTR overrides the read-latency step between page types
+	// (Figure 9); zero keeps the device default (50 us).
+	DeltaTR time.Duration
+	// BitsPerCell selects the density: 0 or 3 for TLC, 2 for MLC
+	// (Table V), 4 for QLC (the paper's future-work extension).
+	BitsPerCell int
+	// Lifetime selects the ECC regime (Figure 11); default early.
+	Lifetime LifetimePhase
+	// OnlyInvalid restricts IDA to wordlines that already lost a lower
+	// page (Table I cases 2-4, skipping the case-1 conversion of
+	// fully-valid wordlines). Ablation knob.
+	OnlyInvalid bool
+	// FastAdjust charges the voltage adjustment at half a program
+	// latency — the paper's Section III-B estimate — instead of the
+	// conservative full program the evaluation uses. Ablation knob.
+	FastAdjust bool
+	// TightSpace sizes the device with only ~30% headroom over the
+	// workload footprint instead of the default 100%, approximating the
+	// paper's "user space fully utilized plus 15% over-provisioning"
+	// condition for the write-interference analysis (Section III-C).
+	TightSpace bool
+	// Vendor232 uses the alternative vendor TLC coding from Section
+	// III-B (2/3/2 sensings for LSB/CSB/MSB) instead of the standard
+	// Gray coding, exercising the paper's claim that IDA combines with
+	// any coding scheme. Only valid with 3 bits/cell.
+	Vendor232 bool
+}
+
+// Baseline returns the paper's baseline system.
+func Baseline() System { return System{Name: "Baseline"} }
+
+// IDA returns the IDA-coding system with the given voltage-adjustment error
+// rate (e.g. 0.20 for IDA-Coding-E20).
+func IDA(errorRate float64) System {
+	return System{Name: fmt.Sprintf("IDA-E%d", int(errorRate*100+0.5)), IDA: true, ErrorRate: errorRate}
+}
+
+// BuildConfig assembles the full SSD configuration for a workload profile
+// under a system description: trace-sized geometry, bit-density-specific
+// timing and coding, refresh period, and the ECC regime.
+func BuildConfig(p Profile, sys System) (SSDConfig, Profile, error) {
+	p, err := p.Normalize()
+	if err != nil {
+		return SSDConfig{}, p, err
+	}
+	bits := sys.BitsPerCell
+	if bits == 0 {
+		bits = 3
+	}
+	if bits < 2 || bits > 4 {
+		return SSDConfig{}, p, fmt.Errorf("idaflash: BitsPerCell %d unsupported (2-4)", bits)
+	}
+	var scheme *Scheme
+	if sys.Vendor232 {
+		if bits != 3 {
+			return SSDConfig{}, p, fmt.Errorf("idaflash: Vendor232 needs 3 bits/cell, got %d", bits)
+		}
+		scheme = coding.Vendor232TLC()
+	}
+
+	// Parallelism is scaled down 4x from the paper's 64-plane device
+	// (the trace request budget is scaled down correspondingly), keeping
+	// the 4-channel topology and the 192-page block shape; the block
+	// count then scales with the workload footprint.
+	base := flash.PaperTLC()
+	base.BitsPerCell = bits
+	base.ChipsPerChannel = 2
+	base.PlanesPerDie = 1
+	headroom := 2.0
+	if sys.TightSpace {
+		headroom = 1.3
+	}
+	geom := ssd.ScaledGeometry(base, int64(p.FootprintMB*(1<<20)), headroom)
+
+	timing := flash.PaperTLCTiming()
+	if bits == 2 {
+		timing = flash.PaperMLCTiming()
+	}
+	if sys.DeltaTR != 0 {
+		timing = timing.WithReadDelta(sys.DeltaTR)
+	}
+	if sys.FastAdjust {
+		timing.VoltAdjust = timing.Program / 2
+	}
+
+	eccParams := ecc.PaperParams(sys.Lifetime)
+	eccParams.DecodeLatency = timing.ECCDecode
+
+	cfg := SSDConfig{
+		Geometry: geom,
+		Timing:   timing,
+		FTL: ftl.Options{
+			Scheme:         scheme,
+			IDAEnabled:     sys.IDA,
+			IDAOnlyInvalid: sys.OnlyInvalid,
+			ErrorRate:      sys.ErrorRate,
+			// Many refresh cycles per measured window, standing in
+			// for the paper's "3 days to 3 months" scaled to the
+			// trace span, so the IDA/conventional block rotation
+			// reaches steady state well inside the measurement.
+			RefreshPeriod:  p.Duration / 6,
+			RefreshStagger: true,
+			// Slow planes must still rotate their open blocks so
+			// recently-written (hot) wordlines reach the refresher.
+			MaxOpenBlockAge: p.Duration / 12,
+			Seed:            p.Seed,
+		},
+		ECC:                 eccParams,
+		RefreshScanInterval: p.Duration / 300,
+		Seed:                p.Seed,
+	}
+	return cfg, p, nil
+}
+
+// RunWorkload generates the profile's trace and runs it on a device built
+// for the system description, returning the measurements. Two calls with
+// identical arguments produce identical results.
+func RunWorkload(p Profile, sys System) (Results, error) {
+	r, _, err := runWorkload(p, sys)
+	return r, err
+}
+
+func runWorkload(p Profile, sys System) (Results, *SSD, error) {
+	cfg, p, err := BuildConfig(p, sys)
+	if err != nil {
+		return Results{}, nil, err
+	}
+	tr, err := p.Generate()
+	if err != nil {
+		return Results{}, nil, err
+	}
+	pre, err := p.AgingPreamble()
+	if err != nil {
+		return Results{}, nil, err
+	}
+	dev, err := ssd.New(cfg)
+	if err != nil {
+		return Results{}, nil, err
+	}
+	res, err := dev.Run(tr, RunOptions{Preamble: pre})
+	return res, dev, err
+}
+
+// RunWithFollowup runs the profile under the system, then continues on the
+// same (now aged, possibly IDA-reprogrammed) device with a second workload
+// sharing the first one's address space, returning both phases'
+// measurements. It reproduces the paper's Section III-C analysis: after a
+// read-intensive phase that leaves IDA blocks behind, how much extra
+// garbage collection does a write-intensive phase pay to reclaim them?
+func RunWithFollowup(p Profile, sys System, followup Profile) (Results, Results, error) {
+	first, dev, err := runWorkload(p, sys)
+	if err != nil {
+		return Results{}, Results{}, err
+	}
+	np, err := p.Normalize()
+	if err != nil {
+		return Results{}, Results{}, err
+	}
+	// The follow-up shares the first phase's footprint and time base so
+	// its writes overwrite (and its GC reclaims) the same space.
+	followup.FootprintMB = np.FootprintMB
+	if followup.Duration == 0 {
+		followup.Duration = np.Duration
+	}
+	tr, err := followup.Generate()
+	if err != nil {
+		return Results{}, Results{}, err
+	}
+	second, err := dev.RunMore(tr)
+	if err != nil {
+		return Results{}, Results{}, err
+	}
+	return first, second, nil
+}

@@ -1,0 +1,265 @@
+package idaflash_test
+
+import (
+	"testing"
+	"time"
+
+	"idaflash"
+)
+
+func smallProfile(t *testing.T, name string) idaflash.Profile {
+	t.Helper()
+	p, err := idaflash.ProfileByName(name, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSystemConstructors(t *testing.T) {
+	b := idaflash.Baseline()
+	if b.Name != "Baseline" || b.IDA {
+		t.Errorf("Baseline() = %+v", b)
+	}
+	i := idaflash.IDA(0.2)
+	if i.Name != "IDA-E20" || !i.IDA || i.ErrorRate != 0.2 {
+		t.Errorf("IDA(0.2) = %+v", i)
+	}
+	if idaflash.IDA(0).Name != "IDA-E0" {
+		t.Errorf("IDA(0) name = %s", idaflash.IDA(0).Name)
+	}
+	if idaflash.IDA(0.8).Name != "IDA-E80" {
+		t.Errorf("IDA(0.8) name = %s", idaflash.IDA(0.8).Name)
+	}
+}
+
+func TestBuildConfig(t *testing.T) {
+	p := smallProfile(t, "proj_3")
+	cfg, np, err := idaflash.BuildConfig(p, idaflash.IDA(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.FootprintMB <= 0 {
+		t.Error("normalized profile lacks footprint")
+	}
+	if !cfg.FTL.IDAEnabled || cfg.FTL.ErrorRate != 0.2 {
+		t.Errorf("FTL options = %+v", cfg.FTL)
+	}
+	if cfg.FTL.RefreshPeriod <= 0 || cfg.FTL.MaxOpenBlockAge <= 0 {
+		t.Error("refresh knobs not set")
+	}
+	if cfg.Geometry.BitsPerCell != 3 {
+		t.Errorf("bits = %d", cfg.Geometry.BitsPerCell)
+	}
+	// Device must comfortably hold the footprint.
+	if cfg.Geometry.CapacityBytes() < int64(np.FootprintMB*1.5*(1<<20)) {
+		t.Error("device undersized")
+	}
+	// MLC timing kicks in for 2 bits/cell.
+	mlc := idaflash.Baseline()
+	mlc.BitsPerCell = 2
+	cfg2, _, err := idaflash.BuildConfig(p, mlc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Timing.ReadBase != 65*time.Microsecond {
+		t.Errorf("MLC ReadBase = %v", cfg2.Timing.ReadBase)
+	}
+	// delta-tR override.
+	d70 := idaflash.Baseline()
+	d70.DeltaTR = 70 * time.Microsecond
+	cfg3, _, err := idaflash.BuildConfig(p, d70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg3.Timing.ReadDelta != 70*time.Microsecond {
+		t.Errorf("ReadDelta = %v", cfg3.Timing.ReadDelta)
+	}
+	// Unsupported densities are rejected.
+	bad := idaflash.Baseline()
+	bad.BitsPerCell = 5
+	if _, _, err := idaflash.BuildConfig(p, bad); err == nil {
+		t.Error("5 bits/cell accepted")
+	}
+}
+
+func TestRunWorkloadEndToEnd(t *testing.T) {
+	p := smallProfile(t, "hm_1")
+	base, err := idaflash.RunWorkload(p, idaflash.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ida, err := idaflash.RunWorkload(p, idaflash.IDA(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ReadRequests == 0 || ida.ReadRequests == 0 {
+		t.Fatal("no reads measured")
+	}
+	if ida.MeanReadResponse >= base.MeanReadResponse {
+		t.Errorf("IDA %v not faster than baseline %v", ida.MeanReadResponse, base.MeanReadResponse)
+	}
+	if ida.FTL.IDARefreshes == 0 || ida.FTL.ReadsFromIDA == 0 {
+		t.Error("IDA machinery idle")
+	}
+	if base.FTL.IDARefreshes != 0 {
+		t.Error("baseline ran IDA refreshes")
+	}
+}
+
+func TestRunWorkloadDeterminism(t *testing.T) {
+	p := smallProfile(t, "proj_3")
+	a, err := idaflash.RunWorkload(p, idaflash.IDA(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := idaflash.RunWorkload(p, idaflash.IDA(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanReadResponse != b.MeanReadResponse || a.FTL != b.FTL || a.Events != b.Events {
+		t.Error("identical RunWorkload calls diverged")
+	}
+}
+
+func TestCodingFacade(t *testing.T) {
+	tlc := idaflash.NewGrayCoding(3)
+	if tlc.Senses(idaflash.MSB) != 4 {
+		t.Errorf("MSB senses = %d", tlc.Senses(idaflash.MSB))
+	}
+	m := tlc.Merge(idaflash.MaskAll(3).Without(idaflash.LSB))
+	if m.Senses(idaflash.CSB) != 1 || m.Senses(idaflash.MSB) != 2 {
+		t.Error("merge through facade wrong")
+	}
+	v := idaflash.Vendor232TLC()
+	if v.Senses(idaflash.CSB) != 3 {
+		t.Errorf("2-3-2 CSB senses = %d", v.Senses(idaflash.CSB))
+	}
+	if idaflash.PaperGeometry().TotalBlocks() != 350208 {
+		t.Error("paper geometry wrong")
+	}
+	if idaflash.PaperTiming().ReadLatency(4) != 150*time.Microsecond {
+		t.Error("paper timing wrong")
+	}
+	if idaflash.PaperMLCTiming().ReadLatency(2) != 115*time.Microsecond {
+		t.Error("MLC timing wrong")
+	}
+	if len(idaflash.PaperProfiles(0)) != 11 || len(idaflash.ExtraProfiles(0)) != 9 {
+		t.Error("profile registries wrong")
+	}
+}
+
+func TestRunWithFollowup(t *testing.T) {
+	p := smallProfile(t, "proj_3")
+	follow := idaflash.Profile{
+		Name:          "flush",
+		ReadRatio:     0.3,
+		MeanReadKB:    16,
+		ReadDataRatio: 0.3,
+		Requests:      1500,
+		Seed:          9,
+	}
+	sys := idaflash.IDA(0.2)
+	sys.TightSpace = true
+	first, second, err := idaflash.RunWithFollowup(p, sys, follow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ReadRequests == 0 || second.WriteRequests == 0 {
+		t.Fatalf("phases empty: %d reads / %d writes", first.ReadRequests, second.WriteRequests)
+	}
+	// Phase 2 counters cover phase 2 only.
+	if second.FTL.HostWrites == 0 || second.FTL.HostWrites >= first.FTL.HostWrites+second.FTL.HostWrites+1 {
+		t.Error("phase accounting wrong")
+	}
+	// The write-heavy follow-up erases blocks.
+	if second.FTL.Erases == 0 {
+		t.Error("follow-up phase never erased")
+	}
+	if second.Makespan <= 0 {
+		t.Errorf("phase-2 makespan = %v", second.Makespan)
+	}
+}
+
+func TestAblationKnobs(t *testing.T) {
+	p := smallProfile(t, "hm_1")
+	only := idaflash.IDA(0.2)
+	only.Name = "IDA-onlyinv"
+	only.OnlyInvalid = true
+	res, err := idaflash.RunWorkload(p, only)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FTL.IDARefreshes == 0 {
+		t.Error("only-invalid mode never adjusted anything")
+	}
+	fast := idaflash.IDA(0.2)
+	fast.Name = "IDA-fast"
+	fast.FastAdjust = true
+	cfg, _, err := idaflash.BuildConfig(p, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Timing.VoltAdjust != cfg.Timing.Program/2 {
+		t.Errorf("fast adjust = %v, want %v", cfg.Timing.VoltAdjust, cfg.Timing.Program/2)
+	}
+	tight := idaflash.Baseline()
+	tight.TightSpace = true
+	cfgT, np, err := idaflash.BuildConfig(p, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgL, _, err := idaflash.BuildConfig(p, idaflash.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgT.Geometry.CapacityBytes() > cfgL.Geometry.CapacityBytes() {
+		t.Error("tight space not smaller than default")
+	}
+	if cfgT.Geometry.CapacityBytes() < int64(np.FootprintMB*(1<<20)) {
+		t.Error("tight space below footprint")
+	}
+}
+
+func TestResultsUtilizationPopulated(t *testing.T) {
+	p := smallProfile(t, "proj_3")
+	res, err := idaflash.RunWorkload(p, idaflash.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanChannelUtilization <= 0 || res.MeanChannelUtilization > 1 {
+		t.Errorf("channel utilization = %v", res.MeanChannelUtilization)
+	}
+	if res.MeanDieUtilization < 0 || res.MeanDieUtilization > 1 {
+		t.Errorf("die utilization = %v", res.MeanDieUtilization)
+	}
+	if res.BusySpan <= 0 {
+		t.Errorf("busy span = %v", res.BusySpan)
+	}
+}
+
+func TestVendor232System(t *testing.T) {
+	p := smallProfile(t, "proj_3")
+	sys := idaflash.IDA(0.2)
+	sys.Vendor232 = true
+	cfg, _, err := idaflash.BuildConfig(p, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.FTL.Scheme == nil || cfg.FTL.Scheme.Senses(idaflash.CSB) != 3 {
+		t.Error("vendor scheme not wired into the FTL")
+	}
+	// Vendor coding requires TLC.
+	bad := sys
+	bad.BitsPerCell = 2
+	if _, _, err := idaflash.BuildConfig(p, bad); err == nil {
+		t.Error("vendor 2-3-2 on MLC accepted")
+	}
+	res, err := idaflash.RunWorkload(p, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FTL.IDARefreshes == 0 || res.FTL.ReadsFromIDA == 0 {
+		t.Error("IDA idle under the vendor coding")
+	}
+}

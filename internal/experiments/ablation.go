@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"idaflash"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out, all at the
+// paper's E20 error rate and normalized to the same baseline:
+//
+//   - Full: the paper's policy (Table I cases 1-4 adjusted).
+//   - OnlyInvalid: adjust only wordlines that already lost a lower page
+//     (cases 2-4), relocating fully-valid wordlines conventionally. The gap
+//     to Full shows how much the blanket case-1 conversion contributes.
+//   - FastAdjust: charge the voltage adjustment at half a program latency
+//     (the paper's Section III-B estimate) instead of the conservative full
+//     program; the gap bounds how much the conservative charge costs.
+func Ablations(r *Runner) (*Table, error) {
+	profiles := r.profiles()
+	full := idaflash.IDA(0.20)
+	onlyInvalid := idaflash.IDA(0.20)
+	onlyInvalid.Name = "IDA-E20-onlyinv"
+	onlyInvalid.OnlyInvalid = true
+	fastAdjust := idaflash.IDA(0.20)
+	fastAdjust.Name = "IDA-E20-fastadj"
+	fastAdjust.FastAdjust = true
+	systems := []idaflash.System{idaflash.Baseline(), full, onlyInvalid, fastAdjust}
+	if err := r.RunAll(crossProduct(profiles, systems)); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "ABL",
+		Title:  "Ablations: normalized read response time at E20 (lower is better)",
+		Header: []string{"Name", "Full", "OnlyInvalid", "FastAdjust"},
+		Notes: []string{
+			"OnlyInvalid skips the case-1 conversion of fully-valid wordlines; FastAdjust halves the voltage-adjustment charge.",
+		},
+	}
+	sums := make([]float64, 3)
+	for _, p := range profiles {
+		base, err := r.Run(p, idaflash.Baseline())
+		if err != nil {
+			return nil, err
+		}
+		row := []string{p.Name}
+		for i, sys := range systems[1:] {
+			res, err := r.Run(p, sys)
+			if err != nil {
+				return nil, err
+			}
+			norm := ratio(res.MeanReadResponse.Seconds(), base.MeanReadResponse.Seconds())
+			sums[i] += norm
+			row = append(row, f2(norm))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	avg := []string{"average"}
+	for _, s := range sums {
+		avg = append(avg, f2(s/float64(len(profiles))))
+	}
+	t.Rows = append(t.Rows, avg)
+	return t, nil
+}

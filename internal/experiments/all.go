@@ -1,0 +1,39 @@
+package experiments
+
+import "fmt"
+
+// Experiment names one regenerable artifact.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(*Runner) (*Table, error)
+}
+
+// All lists every experiment in the order the paper presents them.
+func All() []Experiment {
+	return []Experiment{
+		{"T3", "Table III: workload characteristics", TableIII},
+		{"F4", "Figure 4: read distribution across page types", Figure4},
+		{"F8", "Figure 8: read response vs error rate", Figure8},
+		{"T4", "Table IV: refresh overhead", TableIV},
+		{"F9", "Figure 9: delta-tR sensitivity", Figure9},
+		{"F10", "Figure 10: storage throughput", Figure10},
+		{"F11", "Figure 11: early vs late lifetime", Figure11},
+		{"T5", "Table V: MLC device", TableV},
+		{"F6", "Figure 6: QLC coding and device extension", Figure6},
+		{"AUX", "Section III-C: in-use block growth", BlockUsage},
+		{"ABL", "Ablations: policy and adjustment-latency variants", Ablations},
+		{"WRI", "Section III-C: write-intensive follow-up interference", WriteInterference},
+		{"V232", "Section III-B: IDA on the vendor 2-3-2 TLC coding", Vendor232},
+	}
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"idaflash"
+	"idaflash/internal/workload"
+)
+
+// TestCalibration verifies the synthetic workloads land near their paper
+// targets for the fraction of MSB reads with invalid lower pages — the
+// statistic the whole IDA opportunity rests on (Table III, column 5).
+func TestCalibration(t *testing.T) {
+	r := NewRunner(Options{Requests: 20000})
+	for i, p := range r.profiles() {
+		res, err := r.Run(p, idaflash.Baseline())
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := workload.PaperTableIII[i].InvalidMSBPct
+		measured := invalidMSBFraction(res) * 100
+		if math.Abs(measured-target) > 12 {
+			t.Errorf("%s: invalid-MSB fraction %.1f%%, paper %.1f%% (want +-12 points)",
+				p.Name, measured, target)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V) on the simulator: the workload characterization
+// (Table III, Figure 4), the headline read-response comparison across
+// voltage-adjustment error rates (Figure 8), the refresh overhead audit
+// (Table IV), the delta-tR sensitivity sweep (Figure 9), throughput
+// (Figure 10), the lifetime/read-retry study (Figure 11), the MLC device
+// (Table V), and the QLC extension (Figure 6).
+//
+// Runs are memoized per (profile, system) pair, so experiments that share
+// configurations (e.g. Figure 8 and Figure 10 both need Baseline and
+// IDA-E20) reuse simulations, and independent simulations execute in
+// parallel.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"idaflash"
+	"idaflash/internal/workload"
+)
+
+// Options tunes the experiment harness.
+type Options struct {
+	// Requests is the per-trace request budget. Larger is smoother but
+	// slower; the default (40000) reproduces the paper's shapes in
+	// minutes on a laptop.
+	Requests int
+	// Parallel caps concurrent simulations; defaults to GOMAXPROCS.
+	Parallel int
+	// Progress, when non-nil, receives one line per finished run.
+	Progress io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Requests == 0 {
+		o.Requests = 40000
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Runner memoizes simulation runs across experiments.
+type Runner struct {
+	opts Options
+
+	mu    sync.Mutex
+	cache map[string]cached
+	sem   chan struct{}
+}
+
+type cached struct {
+	res idaflash.Results
+	err error
+}
+
+// NewRunner builds a runner.
+func NewRunner(opts Options) *Runner {
+	opts = opts.withDefaults()
+	return &Runner{
+		opts:  opts,
+		cache: make(map[string]cached),
+		sem:   make(chan struct{}, opts.Parallel),
+	}
+}
+
+// Options returns the effective options.
+func (r *Runner) Options() Options { return r.opts }
+
+type pair struct {
+	profile workload.Profile
+	sys     idaflash.System
+}
+
+func key(p workload.Profile, sys idaflash.System) string {
+	return fmt.Sprintf("%s|%s|%d|%v|%d|%v|%d|%v|%v", p.Name, sys.Name, p.Requests,
+		sys.DeltaTR, sys.BitsPerCell, sys.Lifetime, int(sys.ErrorRate*1000),
+		sys.OnlyInvalid, sys.FastAdjust) + fmt.Sprintf("|%v", sys.Vendor232)
+}
+
+// Run executes (or recalls) one simulation.
+func (r *Runner) Run(p workload.Profile, sys idaflash.System) (idaflash.Results, error) {
+	k := key(p, sys)
+	r.mu.Lock()
+	if c, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		return c.res, c.err
+	}
+	r.mu.Unlock()
+
+	r.sem <- struct{}{}
+	start := time.Now()
+	res, err := idaflash.RunWorkload(p, sys)
+	<-r.sem
+
+	r.mu.Lock()
+	r.cache[k] = cached{res: res, err: err}
+	r.mu.Unlock()
+	if r.opts.Progress != nil {
+		fmt.Fprintf(r.opts.Progress, "ran %-8s %-12s in %v\n", p.Name, sys.Name, time.Since(start).Round(time.Millisecond))
+	}
+	return res, err
+}
+
+// RunAll warms the cache for all pairs concurrently and returns the first
+// error, if any.
+func (r *Runner) RunAll(pairs []pair) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(pairs))
+	for _, pr := range pairs {
+		pr := pr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Run(pr.profile, pr.sys); err != nil {
+				errCh <- fmt.Errorf("%s/%s: %w", pr.profile.Name, pr.sys.Name, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// profiles returns the 11 paper workloads at the configured request budget.
+func (r *Runner) profiles() []workload.Profile {
+	return workload.PaperProfiles(r.opts.Requests)
+}
+
+// crossProduct builds the pair list of every profile with every system.
+func crossProduct(ps []workload.Profile, systems []idaflash.System) []pair {
+	out := make([]pair, 0, len(ps)*len(systems))
+	for _, p := range ps {
+		for _, s := range systems {
+			out = append(out, pair{profile: p, sys: s})
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"idaflash"
+	"idaflash/internal/ftl"
+	"idaflash/internal/workload"
+)
+
+// invalidMSBFraction extracts, from a run's Figure 4 classification
+// counters, the fraction of MSB reads whose associated lower pages were
+// invalid.
+func invalidMSBFraction(res idaflash.Results) float64 {
+	msb := res.FTL.ReadsByClass[ftl.ReadMSBAllValid] + res.FTL.ReadsByClass[ftl.ReadMSBLowerInvalid]
+	if msb == 0 {
+		return 0
+	}
+	return float64(res.FTL.ReadsByClass[ftl.ReadMSBLowerInvalid]) / float64(msb)
+}
+
+// TableIII reproduces the workload characterization: for each of the
+// eleven synthetic workloads, the generated trace's read request ratio,
+// mean read size, and read data ratio, plus the simulated fraction of MSB
+// reads with invalid lower pages — each against the paper's published
+// value.
+func TableIII(r *Runner) (*Table, error) {
+	profiles := r.profiles()
+	if err := r.RunAll(crossProduct(profiles, []idaflash.System{idaflash.Baseline()})); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "T3",
+		Title: "Workload characteristics (measured vs paper)",
+		Header: []string{"Name", "ReadRatio", "paper", "ReadKB", "paper",
+			"ReadData", "paper", "MSBInvalid", "paper"},
+		Notes: []string{
+			"Synthetic traces matched to MSR Cambridge statistics; MSBInvalid is measured on the baseline simulation.",
+		},
+	}
+	for i, p := range profiles {
+		tr, err := p.Generate()
+		if err != nil {
+			return nil, err
+		}
+		s := tr.Stats()
+		res, err := r.Run(p, idaflash.Baseline())
+		if err != nil {
+			return nil, err
+		}
+		paper := workload.PaperTableIII[i]
+		t.Rows = append(t.Rows, []string{
+			p.Name,
+			pct(s.ReadRatio), f1(paper.ReadRatioPct) + "%",
+			f1(s.MeanReadKB), f1(paper.ReadSizeKB),
+			pct(s.ReadDataRatio), f1(paper.ReadDataPct) + "%",
+			pct(invalidMSBFraction(res)), f1(paper.InvalidMSBPct) + "%",
+		})
+	}
+	return t, nil
+}
+
+// Figure4 reproduces the read-distribution breakdown for the eleven paper
+// workloads plus the nine read-ratio-categorized extras: the share of LSB,
+// CSB, and MSB reads, and within CSB/MSB the share whose associated lower
+// pages are invalid.
+func Figure4(r *Runner) (*Table, error) {
+	profiles := append(r.profiles(), workload.ExtraProfiles(r.opts.Requests)...)
+	if err := r.RunAll(crossProduct(profiles, []idaflash.System{idaflash.Baseline()})); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "F4",
+		Title: "Distribution of reads across page types and validity scenarios (baseline)",
+		Header: []string{"Name", "LSB", "CSB(valid)", "CSB(inv)", "MSB(valid)", "MSB(inv)",
+			"CSBinv/CSB", "MSBinv/MSB"},
+		Notes: []string{
+			"Paper averages: ~1/3 of reads per page type; 18% of CSB reads and 30% of MSB reads find lower pages invalid.",
+		},
+	}
+	var avgCSB, avgMSB float64
+	for _, p := range profiles {
+		res, err := r.Run(p, idaflash.Baseline())
+		if err != nil {
+			return nil, err
+		}
+		c := res.FTL.ReadsByClass
+		total := float64(c[ftl.ReadLSB] + c[ftl.ReadCSBAllValid] + c[ftl.ReadCSBLowerInvalid] +
+			c[ftl.ReadMSBAllValid] + c[ftl.ReadMSBLowerInvalid])
+		if total == 0 {
+			return nil, fmt.Errorf("experiments: %s classified no reads", p.Name)
+		}
+		csb := float64(c[ftl.ReadCSBAllValid] + c[ftl.ReadCSBLowerInvalid])
+		msb := float64(c[ftl.ReadMSBAllValid] + c[ftl.ReadMSBLowerInvalid])
+		csbInv, msbInv := 0.0, 0.0
+		if csb > 0 {
+			csbInv = float64(c[ftl.ReadCSBLowerInvalid]) / csb
+		}
+		if msb > 0 {
+			msbInv = float64(c[ftl.ReadMSBLowerInvalid]) / msb
+		}
+		avgCSB += csbInv
+		avgMSB += msbInv
+		t.Rows = append(t.Rows, []string{
+			p.Name,
+			pct(float64(c[ftl.ReadLSB]) / total),
+			pct(float64(c[ftl.ReadCSBAllValid]) / total),
+			pct(float64(c[ftl.ReadCSBLowerInvalid]) / total),
+			pct(float64(c[ftl.ReadMSBAllValid]) / total),
+			pct(float64(c[ftl.ReadMSBLowerInvalid]) / total),
+			pct(csbInv),
+			pct(msbInv),
+		})
+	}
+	n := float64(len(profiles))
+	t.Rows = append(t.Rows, []string{"average", "", "", "", "", "", pct(avgCSB / n), pct(avgMSB / n)})
+	return t, nil
+}

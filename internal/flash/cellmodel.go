@@ -1,0 +1,63 @@
+package flash
+
+import (
+	"fmt"
+	"sync"
+
+	"idaflash/internal/coding"
+)
+
+// CellModel bundles a coding scheme with a cache of IDA merge results, so
+// the hot read path can resolve "how many sensings does this page need right
+// now" without recomputing merges. It is safe for concurrent use.
+type CellModel struct {
+	scheme *coding.Scheme
+
+	mu     sync.Mutex
+	merged map[coding.ValidMask]*coding.Merged
+}
+
+// NewCellModel builds a model around the given scheme.
+func NewCellModel(s *coding.Scheme) *CellModel {
+	return &CellModel{scheme: s, merged: make(map[coding.ValidMask]*coding.Merged)}
+}
+
+// Scheme returns the underlying coding scheme.
+func (m *CellModel) Scheme() *coding.Scheme { return m.scheme }
+
+// Bits returns the bits per cell.
+func (m *CellModel) Bits() int { return m.scheme.Bits() }
+
+// Merged returns the (cached) merge result for a valid mask.
+func (m *CellModel) Merged(mask coding.ValidMask) *coding.Merged {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r, ok := m.merged[mask]; ok {
+		return r
+	}
+	r := m.scheme.Merge(mask)
+	m.merged[mask] = r
+	return r
+}
+
+// ConventionalSenses returns the sensing count for page t under the
+// conventional coding.
+func (m *CellModel) ConventionalSenses(t coding.PageType) int {
+	return m.scheme.Senses(t)
+}
+
+// IDASenses returns the sensing count for page t on a wordline that was
+// reprogrammed with the IDA coding keeping the pages in keep. It panics if t
+// is not a kept page: reading a page that was merged away is a logic error
+// in the FTL, not a recoverable condition.
+func (m *CellModel) IDASenses(keep coding.ValidMask, t coding.PageType) int {
+	if !keep.Has(t) {
+		panic(fmt.Sprintf("flash: reading page %v of an IDA wordline that kept only %b", t, keep))
+	}
+	return m.Merged(keep).Senses(t)
+}
+
+// PlanWordline forwards to the scheme's Table I generalization.
+func (m *CellModel) PlanWordline(mask coding.ValidMask) coding.Plan {
+	return m.scheme.PlanWordline(mask)
+}

@@ -1,0 +1,103 @@
+package flash
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// TimingSpec holds the device timing parameters of Table II. Reads are not a
+// single number: the memory-access stage depends on how many times the
+// wordline must be sensed, which is where the paper's entire optimization
+// lives. The sensing-to-latency mapping is
+//
+//	tR(n) = ReadBase + ReadDelta * log2(n)
+//
+// which reproduces the Micron TLC datapoints (50/100/150 us for 1/2/4
+// sensings with ReadBase=50us, ReadDelta=50us), the MLC datapoints
+// (65/115 us with ReadBase=65us), and the paper's Figure 9 sweep, which is
+// literally a sweep of ReadDelta.
+type TimingSpec struct {
+	ReadBase  time.Duration // memory-access latency of a 1-sensing read (tR-LSB)
+	ReadDelta time.Duration // latency increment per doubling of sensings (delta-tR)
+	Program   time.Duration // page program latency (the paper uses one value, 2.3 ms)
+	Erase     time.Duration // block erase latency
+	Transfer  time.Duration // channel transfer time for one page (48 us at 333 MT/s for 8 KB)
+	ECCDecode time.Duration // ECC decoding latency per page
+	// VoltAdjust is the per-wordline latency of the IDA voltage
+	// adjustment. The paper argues it is about half an MSB write but
+	// conservatively charges one full program latency, which is the
+	// default here.
+	VoltAdjust time.Duration
+}
+
+// PaperTLCTiming returns the Table II timing values: 50/100/150 us page
+// reads, 2.3 ms program, 3 ms erase, 48 us/page transfer, 20 us ECC decode,
+// and a voltage adjustment charged at one program latency.
+func PaperTLCTiming() TimingSpec {
+	return TimingSpec{
+		ReadBase:   50 * time.Microsecond,
+		ReadDelta:  50 * time.Microsecond,
+		Program:    2300 * time.Microsecond,
+		Erase:      3 * time.Millisecond,
+		Transfer:   48 * time.Microsecond,
+		ECCDecode:  20 * time.Microsecond,
+		VoltAdjust: 2300 * time.Microsecond,
+	}
+}
+
+// PaperMLCTiming returns the Section V-G MLC timing: 65 us LSB and 115 us
+// MSB reads (ReadDelta 50 us), other parameters as the TLC device.
+func PaperMLCTiming() TimingSpec {
+	t := PaperTLCTiming()
+	t.ReadBase = 65 * time.Microsecond
+	return t
+}
+
+// Validate reports the first problem with the spec, or nil.
+func (t TimingSpec) Validate() error {
+	if t.ReadBase <= 0 {
+		return fmt.Errorf("flash: ReadBase %v must be positive", t.ReadBase)
+	}
+	if t.ReadDelta < 0 {
+		return fmt.Errorf("flash: ReadDelta %v must be non-negative", t.ReadDelta)
+	}
+	for _, f := range []struct {
+		name string
+		v    time.Duration
+	}{{"Program", t.Program}, {"Erase", t.Erase}, {"Transfer", t.Transfer}, {"ECCDecode", t.ECCDecode}, {"VoltAdjust", t.VoltAdjust}} {
+		if f.v <= 0 {
+			return fmt.Errorf("flash: %s %v must be positive", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// WithReadDelta returns a copy of the spec with a different delta-tR, the
+// knob the paper's Figure 9 sensitivity study turns.
+func (t TimingSpec) WithReadDelta(d time.Duration) TimingSpec {
+	t.ReadDelta = d
+	return t
+}
+
+// ReadLatency returns the memory-access latency of a page read that needs n
+// wordline sensings. n must be at least 1.
+func (t TimingSpec) ReadLatency(n int) time.Duration {
+	if n < 1 {
+		panic(fmt.Sprintf("flash: ReadLatency with %d sensings", n))
+	}
+	if n == 1 {
+		return t.ReadBase
+	}
+	return t.ReadBase + time.Duration(float64(t.ReadDelta)*math.Log2(float64(n)))
+}
+
+// ExtraSenseLatency returns the additional memory-access time of re-sensing
+// a wordline k more times during an LDPC read retry, charged linearly at the
+// one-sensing granularity implied by ReadDelta.
+func (t TimingSpec) ExtraSenseLatency(k int) time.Duration {
+	if k <= 0 {
+		return 0
+	}
+	return time.Duration(k) * t.ReadDelta
+}

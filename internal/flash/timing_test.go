@@ -1,0 +1,100 @@
+package flash
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPaperTLCTimingDatapoints(t *testing.T) {
+	ts := PaperTLCTiming()
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The Micron TLC datapoints: 50/100/150 us for 1/2/4 sensings.
+	cases := map[int]time.Duration{
+		1: 50 * time.Microsecond,
+		2: 100 * time.Microsecond,
+		4: 150 * time.Microsecond,
+	}
+	for n, want := range cases {
+		if got := ts.ReadLatency(n); got != want {
+			t.Errorf("ReadLatency(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestPaperMLCTimingDatapoints(t *testing.T) {
+	ts := PaperMLCTiming()
+	if got := ts.ReadLatency(1); got != 65*time.Microsecond {
+		t.Errorf("MLC LSB read = %v, want 65us", got)
+	}
+	if got := ts.ReadLatency(2); got != 115*time.Microsecond {
+		t.Errorf("MLC MSB read = %v, want 115us", got)
+	}
+}
+
+func TestReadLatencyMonotone(t *testing.T) {
+	ts := PaperTLCTiming()
+	prev := time.Duration(0)
+	for n := 1; n <= 16; n++ {
+		got := ts.ReadLatency(n)
+		if got < prev {
+			t.Errorf("ReadLatency(%d) = %v < ReadLatency(%d) = %v", n, got, n-1, prev)
+		}
+		prev = got
+	}
+}
+
+func TestReadLatencyPanicsOnZeroSenses(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ReadLatency(0) should panic")
+		}
+	}()
+	PaperTLCTiming().ReadLatency(0)
+}
+
+func TestWithReadDelta(t *testing.T) {
+	// Figure 9: delta-tR from 30 to 70 us with tR-LSB pinned at 50 us.
+	for _, d := range []time.Duration{30, 40, 50, 60, 70} {
+		ts := PaperTLCTiming().WithReadDelta(d * time.Microsecond)
+		if got := ts.ReadLatency(1); got != 50*time.Microsecond {
+			t.Errorf("delta %v: LSB read = %v, want 50us", d, got)
+		}
+		if got, want := ts.ReadLatency(4), 50*time.Microsecond+2*d*time.Microsecond; got != want {
+			t.Errorf("delta %v: MSB read = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestExtraSenseLatency(t *testing.T) {
+	ts := PaperTLCTiming()
+	if got := ts.ExtraSenseLatency(0); got != 0 {
+		t.Errorf("ExtraSenseLatency(0) = %v", got)
+	}
+	if got := ts.ExtraSenseLatency(-2); got != 0 {
+		t.Errorf("ExtraSenseLatency(-2) = %v", got)
+	}
+	if got := ts.ExtraSenseLatency(3); got != 150*time.Microsecond {
+		t.Errorf("ExtraSenseLatency(3) = %v, want 150us", got)
+	}
+}
+
+func TestTimingValidate(t *testing.T) {
+	bad := []func(*TimingSpec){
+		func(s *TimingSpec) { s.ReadBase = 0 },
+		func(s *TimingSpec) { s.ReadDelta = -1 },
+		func(s *TimingSpec) { s.Program = 0 },
+		func(s *TimingSpec) { s.Erase = 0 },
+		func(s *TimingSpec) { s.Transfer = 0 },
+		func(s *TimingSpec) { s.ECCDecode = 0 },
+		func(s *TimingSpec) { s.VoltAdjust = 0 },
+	}
+	for i, mutate := range bad {
+		ts := PaperTLCTiming()
+		mutate(&ts)
+		if err := ts.Validate(); err == nil {
+			t.Errorf("case %d: Validate() = nil, want error", i)
+		}
+	}
+}

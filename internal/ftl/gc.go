@@ -1,0 +1,132 @@
+package ftl
+
+import (
+	"idaflash/internal/flash"
+	"idaflash/internal/sim"
+)
+
+// MoveOp is one valid-page migration inside a GC or refresh job: a read of
+// the source page (with its sensing count under the source wordline's
+// coding) followed by a program of the destination page.
+type MoveOp struct {
+	From       flash.PageAddr
+	FromSenses int
+	To         flash.PageAddr
+	LPN        LPN
+}
+
+// GCJob describes one completed garbage collection: the victim block, the
+// page moves performed, and the erase. All mapping state has already been
+// updated; the job exists so the SSD model can charge its timing.
+type GCJob struct {
+	Victim flash.BlockAddr
+	Moves  []MoveOp
+	// VictimWasIDA reports whether the reclaimed block had been
+	// reprogrammed with the IDA coding.
+	VictimWasIDA bool
+}
+
+// CollectGC drains any inline collections buffered since the last call and
+// then runs greedy garbage collection on every plane whose free-block count
+// fell below the watermark, returning one job per reclaimed block. The
+// victim is the fully-programmed block with the fewest valid pages, ties
+// broken toward the lowest erase count (greedy wear-aware, after Bux &
+// Iliadis). Planes with nothing reclaimable are left alone; the next write
+// to them will fail loudly instead.
+func (f *FTL) CollectGC(now sim.Time) []GCJob {
+	jobs := f.pendingGC
+	f.pendingGC = nil
+	for pl := range f.planes {
+		for len(f.planes[pl].free) < f.opts.GCFreeBlocks {
+			job, ok := f.collectPlane(flash.PlaneID(pl), now)
+			if !ok {
+				break
+			}
+			jobs = append(jobs, job)
+		}
+	}
+	return jobs
+}
+
+// ensureFree keeps a plane writable by collecting inline when its free-block
+// count falls below the watermark. The jobs are buffered for the next
+// CollectGC call so the simulation still charges their timing.
+func (f *FTL) ensureFree(pl flash.PlaneID, now sim.Time) {
+	for len(f.planes[pl].free) < f.opts.GCFreeBlocks {
+		job, ok := f.collectPlane(pl, now)
+		if !ok {
+			return
+		}
+		f.pendingGC = append(f.pendingGC, job)
+	}
+}
+
+// collectPlane reclaims one block in the plane. It reports false when no
+// victim exists or reclaiming would not gain space.
+func (f *FTL) collectPlane(pl flash.PlaneID, now sim.Time) (GCJob, bool) {
+	ps := f.planes[pl]
+	victim := -1
+	var vb *block
+	for blk, b := range ps.blocks {
+		if b == nil || blk == ps.active || b.nextStep == 0 {
+			continue // untouched, erased, or still accepting programs
+		}
+		if f.refreshingActive && f.refreshing.Plane == pl && f.refreshing.Block == blk {
+			continue // mid-refresh; the refresh flow owns this block
+		}
+		if vb == nil ||
+			b.validCount < vb.validCount ||
+			(b.validCount == vb.validCount && b.eraseCount < vb.eraseCount) {
+			victim, vb = blk, b
+		}
+	}
+	if vb == nil {
+		return GCJob{}, false
+	}
+	// Reclaiming a block whose valid pages would fill a whole new block
+	// gains nothing; stop rather than churn.
+	if vb.validCount >= f.order.Len() {
+		return GCJob{}, false
+	}
+	// The victim's valid pages relocate within this plane; decline when
+	// they would not fit in the plane's remaining space (the plane then
+	// recovers as refresh drains its blocks elsewhere).
+	space := len(ps.free) * f.order.Len()
+	if ps.active >= 0 {
+		space += f.order.Len() - ps.blocks[ps.active].nextStep
+	}
+	if vb.validCount > space {
+		return GCJob{}, false
+	}
+	job := GCJob{
+		Victim:       flash.BlockAddr{Plane: pl, Block: victim},
+		VictimWasIDA: vb.ida,
+	}
+	for page := 0; page < f.geom.PagesPerBlock(); page++ {
+		if !vb.valid[page] {
+			continue
+		}
+		src := f.packPPN(pl, victim, page)
+		senses := f.sensesAt(vb, page)
+		prog, err := f.relocate(src, now)
+		if err != nil {
+			// The plane is below watermark but still has its active
+			// block; running out mid-GC means the device is
+			// undersized. Surface it loudly.
+			panic("ftl: allocation failed during GC: " + err.Error())
+		}
+		job.Moves = append(job.Moves, MoveOp{
+			From:       f.addrOf(src),
+			FromSenses: senses,
+			To:         prog.Addr,
+			LPN:        prog.LPN,
+		})
+	}
+	f.eraseBlock(pl, victim)
+	f.stats.GCJobs++
+	f.stats.GCMoves += uint64(len(job.Moves))
+	if job.VictimWasIDA {
+		f.stats.GCIDAVictims++
+	}
+	return job, true
+}

@@ -1,0 +1,110 @@
+package ftl
+
+import (
+	"fmt"
+
+	"idaflash/internal/coding"
+	"idaflash/internal/flash"
+)
+
+// ReadClass categorizes a host page read the way the paper's Figure 4 does:
+// by the page type read and by whether any associated faster page of the
+// same wordline is already invalid (the scenarios IDA coding targets).
+type ReadClass int
+
+// Figure 4 categories. "LowerInvalid" means at least one faster page of the
+// wordline is invalid while the read page is valid.
+const (
+	ReadLSB ReadClass = iota
+	ReadCSBAllValid
+	ReadCSBLowerInvalid
+	ReadMSBAllValid
+	ReadMSBLowerInvalid
+	numReadClasses
+)
+
+// String names the class.
+func (c ReadClass) String() string {
+	switch c {
+	case ReadLSB:
+		return "LSB"
+	case ReadCSBAllValid:
+		return "CSB(valid)"
+	case ReadCSBLowerInvalid:
+		return "CSB(LSB-invalid)"
+	case ReadMSBAllValid:
+		return "MSB(valid)"
+	case ReadMSBLowerInvalid:
+		return "MSB(lower-invalid)"
+	default:
+		return fmt.Sprintf("ReadClass(%d)", int(c))
+	}
+}
+
+// ReadInfo describes one physical page read: where it goes, how many
+// sensings the memory-access stage needs under the wordline's current
+// coding, and its Figure 4 classification.
+type ReadInfo struct {
+	Addr   flash.PageAddr
+	LPN    LPN
+	Type   coding.PageType
+	Senses int
+	Class  ReadClass
+	// IDA reports whether the wordline was reprogrammed with IDA coding.
+	IDA bool
+}
+
+// Read resolves a host read of the LPN. The boolean is false when the LPN
+// is unmapped (never written or trimmed).
+func (f *FTL) Read(lpn LPN) (ReadInfo, bool) {
+	p, ok := f.l2p[lpn]
+	if !ok {
+		return ReadInfo{}, false
+	}
+	pl, blk, page := f.unpackPPN(p)
+	b := f.planes[pl].blocks[blk]
+	wl, t := f.pageCoords(page)
+	info := ReadInfo{
+		Addr:   f.addrOf(p),
+		LPN:    lpn,
+		Type:   t,
+		Senses: f.sensesAt(b, page),
+		IDA:    b.wlKeep[wl] != 0,
+		Class:  f.classify(b, wl, t),
+	}
+	f.stats.HostReads++
+	f.stats.ReadsByClass[info.Class]++
+	if info.Senses < len(f.stats.ReadsBySenses) {
+		f.stats.ReadsBySenses[info.Senses]++
+	}
+	if info.IDA {
+		f.stats.ReadsFromIDA++
+	}
+	return info, true
+}
+
+// classify buckets the read for Figure 4. Pages above CSB in >3-bit cells
+// fold into the MSB buckets (the paper's TLC taxonomy generalized).
+func (f *FTL) classify(b *block, wl int, t coding.PageType) ReadClass {
+	if t == coding.LSB {
+		return ReadLSB
+	}
+	mask := f.wlValidMask(b, wl)
+	lowerInvalid := false
+	for j := coding.PageType(0); j < t; j++ {
+		if !mask.Has(j) {
+			lowerInvalid = true
+			break
+		}
+	}
+	if t == coding.CSB {
+		if lowerInvalid {
+			return ReadCSBLowerInvalid
+		}
+		return ReadCSBAllValid
+	}
+	if lowerInvalid {
+		return ReadMSBLowerInvalid
+	}
+	return ReadMSBAllValid
+}

@@ -1,0 +1,280 @@
+package ftl
+
+import (
+	"idaflash/internal/coding"
+	"idaflash/internal/flash"
+	"idaflash/internal/sim"
+)
+
+// ReadOp is one physical page read inside a background job.
+type ReadOp struct {
+	Addr   flash.PageAddr
+	Senses int
+}
+
+// RefreshJob describes one completed data refresh of a block, in the shape
+// of the paper's Figure 7. All mapping state has already been updated; the
+// SSD model charges the timing of the listed operations.
+type RefreshJob struct {
+	Target flash.BlockAddr
+	// IDAApplied reports whether this refresh used the modified flow
+	// (Figure 7b): at least one wordline was voltage-adjusted.
+	IDAApplied bool
+	// ValidPages is the number of valid pages at the start of refresh
+	// (Table IV column 2): they are all read and ECC-decoded.
+	ValidPages int
+	// Reads lists those initial page reads with pre-refresh sensing
+	// counts.
+	Reads []ReadOp
+	// Moves lists pages relocated to a new block: all valid pages in the
+	// original flow; the non-beneficial pages (Table I) in the modified
+	// flow.
+	Moves []MoveOp
+	// AdjustedWLs counts voltage-adjusted wordlines; each costs one
+	// VoltAdjust latency on the die.
+	AdjustedWLs int
+	// VerifyReads lists the post-adjustment integrity reads of kept
+	// pages (Table IV "# of Reads"), at post-IDA sensing counts.
+	VerifyReads []ReadOp
+	// CorruptedMoves lists kept pages the adjustment corrupted, written
+	// back to the new block (Table IV "# of Writes").
+	CorruptedMoves []MoveOp
+	// KeptPages is the number of pages that stayed in the target block
+	// (still valid there after corruption write-backs).
+	KeptPages int
+}
+
+// DueRefreshes refreshes every fully-programmed block whose age exceeds the
+// refresh period, returning one job per block. With a zero refresh period
+// it returns nil. Blocks already reprogrammed with the IDA coding are
+// force-reclaimed with the original flow on their next cycle, as Section
+// III-C requires.
+func (f *FTL) DueRefreshes(now sim.Time) []RefreshJob {
+	if f.opts.RefreshPeriod == 0 {
+		return nil
+	}
+	var jobs []RefreshJob
+	for pl := range f.planes {
+		ps := f.planes[pl]
+		// Retire an active block whose oldest data has aged past the
+		// open-age limit, so slowly-filling planes still refresh.
+		// Skipped under space pressure (see allocate).
+		if ps.active >= 0 && f.opts.MaxOpenBlockAge > 0 && len(ps.free) >= 2 {
+			if b := ps.blocks[ps.active]; b.nextStep > 0 && now-b.openedAt >= f.opts.MaxOpenBlockAge {
+				f.closeActive(flash.PlaneID(pl))
+			}
+		}
+		for blk, b := range ps.blocks {
+			if b == nil || blk == ps.active || b.nextStep == 0 {
+				continue
+			}
+			if b.validCount == 0 {
+				continue // nothing to preserve; GC will reclaim
+			}
+			if now-b.programmedAt < f.opts.RefreshPeriod {
+				continue
+			}
+			// Keep enough free space in the plane for the moves
+			// this refresh will make. The inline GC may reclaim
+			// this very block (or churn the plane), so re-check
+			// eligibility afterwards.
+			f.ensureFree(flash.PlaneID(pl), now)
+			if blk == ps.active || b.nextStep == 0 || b.validCount == 0 {
+				continue
+			}
+			jobs = append(jobs, f.refreshBlock(flash.PlaneID(pl), blk, now))
+		}
+	}
+	return jobs
+}
+
+// CloseActiveBlocks retires every plane's open block so warmup-era data
+// enters the refresh rotation. Simulation drivers call it once, after
+// warmup: an aged device would not have tens of half-open blocks of old
+// data.
+func (f *FTL) CloseActiveBlocks() {
+	for pl, ps := range f.planes {
+		if ps.active >= 0 && ps.blocks[ps.active].nextStep > 0 {
+			f.closeActive(flash.PlaneID(pl))
+		}
+	}
+}
+
+// StaggerBlockAges spreads the apparent ages of all fully-programmed blocks
+// uniformly over one refresh period, so a freshly-prefilled device does not
+// refresh everything at once. Call it once, after warmup.
+func (f *FTL) StaggerBlockAges(now sim.Time) {
+	if f.opts.RefreshPeriod == 0 || !f.opts.RefreshStagger {
+		return
+	}
+	for _, ps := range f.planes {
+		for blk, b := range ps.blocks {
+			if b == nil || blk == ps.active || b.nextStep == 0 {
+				continue
+			}
+			age := sim.Time(f.rng.Int63n(int64(f.opts.RefreshPeriod)))
+			b.programmedAt = now - age
+		}
+	}
+}
+
+// refreshBlock refreshes one block, choosing the original or IDA-modified
+// flow.
+func (f *FTL) refreshBlock(pl flash.PlaneID, blk int, now sim.Time) RefreshJob {
+	b := f.planes[pl].blocks[blk]
+	job := RefreshJob{
+		Target:     flash.BlockAddr{Plane: pl, Block: blk},
+		ValidPages: b.validCount,
+	}
+	// Protect the target from inline GC while its pages are in flight.
+	f.refreshing = job.Target
+	f.refreshingActive = true
+	defer func() { f.refreshingActive = false }()
+	// Step 1-2 (both flows): read and decode every valid page.
+	for page := 0; page < f.geom.PagesPerBlock(); page++ {
+		if b.valid[page] {
+			job.Reads = append(job.Reads, ReadOp{
+				Addr:   f.addrOf(f.packPPN(pl, blk, page)),
+				Senses: f.sensesAt(b, page),
+			})
+		}
+	}
+
+	useIDA := f.opts.IDAEnabled && !b.ida && !b.refreshed
+	if !useIDA {
+		f.refreshOriginal(pl, blk, now, &job)
+	} else {
+		f.refreshIDA(pl, blk, now, &job)
+	}
+
+	f.stats.Refreshes++
+	f.stats.RefreshValidPages += uint64(job.ValidPages)
+	f.stats.RefreshMoves += uint64(len(job.Moves))
+	if job.IDAApplied {
+		f.stats.IDARefreshes++
+		f.stats.IDAAdjustedWLs += uint64(job.AdjustedWLs)
+		f.stats.IDAVerifyReads += uint64(len(job.VerifyReads))
+		f.stats.IDACorruptedWrites += uint64(len(job.CorruptedMoves))
+		f.stats.IDAKeptPages += uint64(job.KeptPages)
+	}
+	return job
+}
+
+// refreshOriginal implements Figure 7a: move every valid page to a new
+// block. The emptied target block is reclaimed by GC later.
+func (f *FTL) refreshOriginal(pl flash.PlaneID, blk int, now sim.Time, job *RefreshJob) {
+	b := f.planes[pl].blocks[blk]
+	for page := 0; page < f.geom.PagesPerBlock(); page++ {
+		if !b.valid[page] {
+			continue
+		}
+		src := f.packPPN(pl, blk, page)
+		senses := f.sensesAt(b, page)
+		prog, err := f.relocateGlobal(src, now)
+		if err != nil {
+			panic("ftl: allocation failed during refresh: " + err.Error())
+		}
+		job.Moves = append(job.Moves, MoveOp{From: f.addrOf(src), FromSenses: senses, To: prog.Addr, LPN: prog.LPN})
+	}
+	// Reset the age so an empty block lingering before GC reclaim does
+	// not re-trigger refresh scans.
+	b.programmedAt = now
+	b.refreshed = true
+}
+
+// refreshIDA implements Figure 7b: relocate only the non-beneficial pages,
+// voltage-adjust the beneficial wordlines, verify the kept pages, and write
+// back any pages the adjustment corrupted.
+func (f *FTL) refreshIDA(pl flash.PlaneID, blk int, now sim.Time, job *RefreshJob) {
+	b := f.planes[pl].blocks[blk]
+	type keptPage struct {
+		page   int
+		senses int // post-adjustment sensing count
+	}
+	var kept []keptPage
+
+	// Step 3: per-wordline Table I decision. Moves happen first (they
+	// need the pre-adjustment data), then the adjustment.
+	for wl := 0; wl < f.geom.WordlinesPerBlock; wl++ {
+		mask := f.wlValidMask(b, wl)
+		if mask == 0 {
+			continue // case 8
+		}
+		if f.opts.IDAOnlyInvalid && mask == coding.MaskAll(f.geom.BitsPerCell) {
+			// Ablation mode: fully-valid wordlines (case 1) are
+			// relocated like the original refresh instead of being
+			// converted.
+			for t := coding.PageType(0); int(t) < f.geom.BitsPerCell; t++ {
+				page := f.pageIndex(wl, t)
+				src := f.packPPN(pl, blk, page)
+				senses := f.sensesAt(b, page)
+				prog, err := f.relocateGlobal(src, now)
+				if err != nil {
+					panic("ftl: allocation failed during IDA refresh: " + err.Error())
+				}
+				job.Moves = append(job.Moves, MoveOp{From: f.addrOf(src), FromSenses: senses, To: prog.Addr, LPN: prog.LPN})
+			}
+			continue
+		}
+		plan := f.cells.PlanWordline(mask)
+		for _, t := range plan.Move {
+			page := f.pageIndex(wl, t)
+			src := f.packPPN(pl, blk, page)
+			senses := f.sensesAt(b, page)
+			prog, err := f.relocateGlobal(src, now)
+			if err != nil {
+				panic("ftl: allocation failed during IDA refresh: " + err.Error())
+			}
+			job.Moves = append(job.Moves, MoveOp{From: f.addrOf(src), FromSenses: senses, To: prog.Addr, LPN: prog.LPN})
+		}
+		if !plan.Apply {
+			continue
+		}
+		// Step 4: the wordline is reprogrammed; record its new coding.
+		b.wlKeep[wl] = plan.Keep
+		job.AdjustedWLs++
+		// Walk page types in order (not the KeptSenses map) so the
+		// corruption draws below consume randomness deterministically.
+		for t := coding.PageType(0); int(t) < f.geom.BitsPerCell; t++ {
+			if !plan.Keep.Has(t) {
+				continue
+			}
+			page := f.pageIndex(wl, t)
+			if b.valid[page] {
+				kept = append(kept, keptPage{page: page, senses: plan.KeptSenses[t]})
+			}
+		}
+	}
+
+	if job.AdjustedWLs == 0 {
+		// Nothing was worth adjusting (every wordline was cases 5-8);
+		// the block emptied exactly like an original refresh.
+		b.programmedAt = now
+		b.refreshed = true
+		return
+	}
+
+	// Steps 5-8: verify-read every kept page; corrupted ones are written
+	// back to the new block.
+	for _, kp := range kept {
+		job.VerifyReads = append(job.VerifyReads, ReadOp{
+			Addr:   f.addrOf(f.packPPN(pl, blk, kp.page)),
+			Senses: kp.senses,
+		})
+		if f.opts.ErrorRate > 0 && f.rng.Float64() < f.opts.ErrorRate {
+			src := f.packPPN(pl, blk, kp.page)
+			prog, err := f.relocateGlobal(src, now)
+			if err != nil {
+				panic("ftl: allocation failed during IDA write-back: " + err.Error())
+			}
+			job.CorruptedMoves = append(job.CorruptedMoves, MoveOp{From: f.addrOf(src), FromSenses: kp.senses, To: prog.Addr, LPN: prog.LPN})
+		} else {
+			job.KeptPages++
+		}
+	}
+
+	b.ida = true
+	b.refreshed = true
+	b.programmedAt = now // reclaimed on the next refresh cycle
+	job.IDAApplied = true
+}

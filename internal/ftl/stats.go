@@ -1,0 +1,124 @@
+package ftl
+
+// Stats accumulates the FTL-level counters every experiment reads out.
+// All counts are cumulative since construction.
+type Stats struct {
+	HostReads     uint64
+	HostWrites    uint64
+	Invalidations uint64
+	Erases        uint64
+
+	// ReadsByClass buckets host reads for Figure 4.
+	ReadsByClass [numReadClasses]uint64
+	// ReadsBySenses buckets host reads by the sensing count they needed
+	// (index = sensings; index 0 unused).
+	ReadsBySenses [9]uint64
+	// ReadsFromIDA counts host reads served from IDA-reprogrammed
+	// wordlines at reduced sensing counts.
+	ReadsFromIDA uint64
+
+	GCJobs       uint64
+	GCMoves      uint64
+	GCIDAVictims uint64
+
+	Refreshes         uint64
+	RefreshValidPages uint64
+	RefreshMoves      uint64
+
+	// IDA-modified refresh counters (Table IV).
+	IDARefreshes       uint64
+	IDAAdjustedWLs     uint64
+	IDAVerifyReads     uint64
+	IDACorruptedWrites uint64
+	IDAKeptPages       uint64
+}
+
+// Stats returns a snapshot of the counters.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// ResetStats zeroes the counters. Simulation drivers call it after warmup
+// so measurements cover only the timed phase.
+func (f *FTL) ResetStats() { f.stats = Stats{} }
+
+// BlockUsage is a point-in-time census of block states, backing the paper's
+// Section III-C in-use block accounting.
+type BlockUsage struct {
+	Total     int // all blocks in the device
+	Free      int // erased, on a free list
+	Active    int // currently accepting programs
+	InUse     int // programmed, holding at least one valid page
+	Empty     int // programmed but fully invalid (awaiting GC)
+	IDABlocks int // reprogrammed with the IDA coding, still in use
+}
+
+// Wear summarizes the erase-count distribution across all blocks, the
+// quantity the greedy wear-aware GC tie-break is meant to keep flat and the
+// paper's endurance discussion (Section III-B) cares about.
+type Wear struct {
+	MinErase  int
+	MaxErase  int
+	MeanErase float64
+	// Spread is MaxErase - MinErase; small spreads mean even wear.
+	Spread int
+}
+
+// WearStats computes the erase-count distribution.
+func (f *FTL) WearStats() Wear {
+	var w Wear
+	first := true
+	total, n := 0, 0
+	for _, ps := range f.planes {
+		for _, b := range ps.blocks {
+			e := 0
+			if b != nil {
+				e = b.eraseCount
+			}
+			if first {
+				w.MinErase, w.MaxErase = e, e
+				first = false
+			}
+			if e < w.MinErase {
+				w.MinErase = e
+			}
+			if e > w.MaxErase {
+				w.MaxErase = e
+			}
+			total += e
+			n++
+		}
+	}
+	if n > 0 {
+		w.MeanErase = float64(total) / float64(n)
+	}
+	w.Spread = w.MaxErase - w.MinErase
+	return w
+}
+
+// Usage computes the census.
+func (f *FTL) Usage() BlockUsage {
+	var u BlockUsage
+	u.Total = f.geom.TotalBlocks()
+	for _, ps := range f.planes {
+		u.Free += len(ps.free)
+		if ps.active >= 0 {
+			u.Active++
+		}
+		for blk, b := range ps.blocks {
+			if b == nil || blk == ps.active {
+				continue
+			}
+			if b.nextStep == 0 {
+				continue // erased (already counted via free list)
+			}
+			if b.validCount > 0 {
+				u.InUse++
+				if b.ida {
+					u.IDABlocks++
+				}
+			} else {
+				u.Empty++
+			}
+		}
+	}
+	return u
+}

@@ -1,0 +1,229 @@
+package ftl
+
+import (
+	"fmt"
+
+	"idaflash/internal/coding"
+	"idaflash/internal/flash"
+	"idaflash/internal/sim"
+)
+
+// PageProgram describes one physical page program the device must perform.
+type PageProgram struct {
+	Addr flash.PageAddr
+	LPN  LPN
+}
+
+// Write maps the LPN to a fresh physical page, invalidating any previous
+// copy, and returns the program operation. now stamps the block age used by
+// the refresh policy. Write fails only when the device is truly out of
+// space (no free block and nothing reclaimable), which indicates a mis-sized
+// experiment rather than a runtime condition to retry.
+func (f *FTL) Write(lpn LPN, now sim.Time) (PageProgram, error) {
+	var p ppn
+	var err error
+	// CWDP striping with space-aware fallback: a transiently full plane
+	// is skipped in favour of the next one with room.
+	for try := 0; try < len(f.cwdp); try++ {
+		pl := f.nextAllocPlane()
+		f.ensureFree(pl, now)
+		p, err = f.allocate(now, pl)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return PageProgram{}, err
+	}
+	if old, ok := f.l2p[lpn]; ok {
+		f.invalidate(old)
+	}
+	f.l2p[lpn] = p
+	pl, blk, page := f.unpackPPN(p)
+	b := f.planes[pl].blocks[blk]
+	b.valid[page] = true
+	b.rmap[page] = lpn
+	b.validCount++
+	f.stats.HostWrites++
+	return PageProgram{Addr: f.addrOf(p), LPN: lpn}, nil
+}
+
+// Trim invalidates the LPN without writing a replacement.
+func (f *FTL) Trim(lpn LPN) {
+	if old, ok := f.l2p[lpn]; ok {
+		f.invalidate(old)
+		delete(f.l2p, lpn)
+	}
+}
+
+// nextAllocPlane returns the plane the next host write should land on,
+// advancing the CWDP stripe cursor.
+func (f *FTL) nextAllocPlane() flash.PlaneID {
+	p := f.cwdp[f.allocCursor]
+	f.allocCursor = (f.allocCursor + 1) % len(f.cwdp)
+	return p
+}
+
+// allocate claims the next page of the plane's active block, opening a new
+// block when needed. An active block that has been open longer than
+// MaxOpenBlockAge is force-closed first, so its pages age toward refresh
+// even when the plane fills slowly.
+func (f *FTL) allocate(now sim.Time, pl flash.PlaneID) (ppn, error) {
+	ps := f.planes[pl]
+	// Only retire an aged active block when the plane has spare blocks:
+	// closing a partial block strands its unwritten pages, which a plane
+	// under space pressure cannot afford.
+	if ps.active >= 0 && f.opts.MaxOpenBlockAge > 0 && len(ps.free) >= 2 {
+		if b := ps.blocks[ps.active]; now-b.openedAt >= f.opts.MaxOpenBlockAge {
+			f.closeActive(pl)
+		}
+	}
+	if ps.active < 0 {
+		if err := f.openBlock(now, pl); err != nil {
+			return 0, err
+		}
+	}
+	b := ps.blocks[ps.active]
+	ref := f.order.At(b.nextStep)
+	page := f.pageIndex(ref.WL, ref.Type)
+	p := f.packPPN(pl, ps.active, page)
+	b.nextStep++
+	if b.nextStep == f.order.Len() {
+		f.closeActive(pl)
+	}
+	return p, nil
+}
+
+// closeActive retires the plane's active block. The retention clock starts
+// at the block's first program, which is when its oldest data was written.
+func (f *FTL) closeActive(pl flash.PlaneID) {
+	ps := f.planes[pl]
+	b := ps.blocks[ps.active]
+	b.programmedAt = b.openedAt
+	ps.active = -1
+}
+
+// openBlock pops a free block and makes it the plane's active block.
+func (f *FTL) openBlock(now sim.Time, pl flash.PlaneID) error {
+	ps := f.planes[pl]
+	if len(ps.free) == 0 {
+		return fmt.Errorf("ftl: plane %d out of free blocks (undersized device or GC starved)", pl)
+	}
+	blk := ps.free[len(ps.free)-1]
+	ps.free = ps.free[:len(ps.free)-1]
+	b := f.blockAt(pl, blk)
+	if b.nextStep != 0 {
+		return fmt.Errorf("ftl: free block p%d/b%d not erased (step %d)", pl, blk, b.nextStep)
+	}
+	b.openedAt = now
+	b.programmedAt = now
+	ps.active = blk
+	return nil
+}
+
+// invalidate clears a physical page's valid bit.
+func (f *FTL) invalidate(p ppn) {
+	pl, blk, page := f.unpackPPN(p)
+	b := f.planes[pl].blocks[blk]
+	if b == nil || !b.valid[page] {
+		panic(fmt.Sprintf("ftl: invalidating already-invalid page %v", f.addrOf(p)))
+	}
+	b.valid[page] = false
+	b.validCount--
+	f.stats.Invalidations++
+}
+
+// eraseBlock wipes a block and returns it to the free list.
+func (f *FTL) eraseBlock(pl flash.PlaneID, blk int) {
+	ps := f.planes[pl]
+	b := ps.blocks[blk]
+	if b == nil {
+		panic(fmt.Sprintf("ftl: erasing untouched block p%d/b%d", pl, blk))
+	}
+	if b.validCount != 0 {
+		panic(fmt.Sprintf("ftl: erasing block p%d/b%d with %d valid pages", pl, blk, b.validCount))
+	}
+	b.eraseCount++
+	b.nextStep = 0
+	b.ida = false
+	b.refreshed = false
+	for i := range b.valid {
+		b.valid[i] = false
+		b.rmap[i] = 0
+	}
+	for i := range b.wlKeep {
+		b.wlKeep[i] = 0
+	}
+	ps.free = append(ps.free, blk)
+	f.stats.Erases++
+}
+
+// relocate moves a valid physical page to a freshly-allocated page in the
+// same plane (garbage collection relocates plane-locally, copyback-style),
+// returning the destination program operation.
+func (f *FTL) relocate(p ppn, now sim.Time) (PageProgram, error) {
+	pl, _, _ := f.unpackPPN(p)
+	return f.relocateTo(p, now, pl)
+}
+
+// relocateGlobal moves a valid physical page to the next page of the global
+// CWDP write stripe, like a host write. The data refresh relocates this way:
+// its pages round-trip through the controller for ECC correction anyway, so
+// they re-enter the normal allocation stream and interleave with ongoing
+// host writes rather than clustering into one plane's block. A transiently
+// full plane is skipped in favour of the next one with space.
+func (f *FTL) relocateGlobal(p ppn, now sim.Time) (PageProgram, error) {
+	var err error
+	for try := 0; try < len(f.cwdp); try++ {
+		pl := f.nextAllocPlane()
+		f.ensureFree(pl, now)
+		var prog PageProgram
+		prog, err = f.relocateTo(p, now, pl)
+		if err == nil {
+			return prog, nil
+		}
+	}
+	return PageProgram{}, err
+}
+
+// relocateTo implements relocation into a specific plane. The destination
+// is allocated before the source is invalidated, so a failed allocation
+// leaves the source mapping intact.
+func (f *FTL) relocateTo(p ppn, now sim.Time, target flash.PlaneID) (PageProgram, error) {
+	pl, blk, page := f.unpackPPN(p)
+	b := f.planes[pl].blocks[blk]
+	lpn := b.rmap[page]
+	dst, err := f.allocate(now, target)
+	if err != nil {
+		return PageProgram{}, err
+	}
+	f.invalidate(p)
+	f.l2p[lpn] = dst
+	dpl, dblk, dpage := f.unpackPPN(dst)
+	db := f.planes[dpl].blocks[dblk]
+	db.valid[dpage] = true
+	db.rmap[dpage] = lpn
+	db.validCount++
+	return PageProgram{Addr: f.addrOf(dst), LPN: lpn}, nil
+}
+
+// sensesAt returns the sensing count needed to read the given physical page
+// under the wordline's current coding mode.
+func (f *FTL) sensesAt(b *block, page int) int {
+	wl, t := f.pageCoords(page)
+	if keep := b.wlKeep[wl]; keep != 0 {
+		return f.cells.IDASenses(keep, t)
+	}
+	return f.cells.ConventionalSenses(t)
+}
+
+// FreeBlocks returns the free-block count of a plane (for tests and
+// admission logic).
+func (f *FTL) FreeBlocks(pl flash.PlaneID) int { return len(f.planes[pl].free) }
+
+// validMaskForPage is a small helper exposing sibling validity to the read
+// classifier.
+func (f *FTL) validMaskForPage(b *block, page int) coding.ValidMask {
+	wl, _ := f.pageCoords(page)
+	return f.wlValidMask(b, wl)
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30*time.Microsecond, func() { got = append(got, 3) })
+	e.At(10*time.Microsecond, func() { got = append(got, 1) })
+	e.At(20*time.Microsecond, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("execution order = %v", got)
+	}
+	if e.Now() != 30*time.Microsecond {
+		t.Errorf("clock = %v, want 30us", e.Now())
+	}
+	if e.Processed() != 3 {
+		t.Errorf("processed = %d", e.Processed())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Microsecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.At(0, func() {
+		trace = append(trace, "a")
+		e.After(5*time.Microsecond, func() {
+			trace = append(trace, "c")
+		})
+	})
+	e.At(2*time.Microsecond, func() { trace = append(trace, "b") })
+	e.Run()
+	want := "abc"
+	s := ""
+	for _, x := range trace {
+		s += x
+	}
+	if s != want {
+		t.Errorf("trace = %q, want %q", s, want)
+	}
+}
+
+func TestEnginePanicsOnPastEvent(t *testing.T) {
+	e := NewEngine()
+	e.At(10*time.Microsecond, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	e.At(5*time.Microsecond, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := make(map[int]bool)
+	e.At(10*time.Microsecond, func() { fired[10] = true })
+	e.At(20*time.Microsecond, func() { fired[20] = true })
+	e.At(30*time.Microsecond, func() { fired[30] = true })
+	e.RunUntil(20 * time.Microsecond)
+	if !fired[10] || !fired[20] || fired[30] {
+		t.Errorf("fired = %v", fired)
+	}
+	if e.Now() != 20*time.Microsecond {
+		t.Errorf("clock = %v, want 20us", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	// RunUntil with an empty horizon still advances the clock.
+	e.Run()
+	e.RunUntil(100 * time.Microsecond)
+	if e.Now() != 100*time.Microsecond {
+		t.Errorf("clock = %v, want 100us", e.Now())
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty queue should return false")
+	}
+}

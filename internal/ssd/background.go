@@ -1,0 +1,167 @@
+package ssd
+
+import (
+	"time"
+
+	"idaflash/internal/ftl"
+	"idaflash/internal/sim"
+)
+
+// runGC collects any planes below the free-block watermark and charges the
+// resulting moves and erases as background work.
+func (s *SSD) runGC() {
+	jobs := s.f.CollectGC(s.engine.Now())
+	for _, job := range jobs {
+		s.chargeGC(job)
+	}
+}
+
+// chargeGC issues the timed operations of one GC job: each move is a read
+// (die), two channel transfers (out and back in), and a program (die); the
+// victim erase runs after the moves. Steps chain sequentially, as the
+// controller executes one copy at a time per victim.
+func (s *SSD) chargeGC(job ftl.GCJob) {
+	steps := make([]func(next func()), 0, len(job.Moves)+1)
+	for _, m := range job.Moves {
+		m := m
+		steps = append(steps, func(next func()) {
+			readHold := s.cfg.Timing.ReadLatency(m.FromSenses) + s.cfg.Timing.Transfer
+			s.gcBusy += readHold + s.cfg.Timing.Transfer + s.cfg.Timing.Program
+			s.dieOf(m.From).Acquire(sim.PrioBackground, 0, func() {
+				s.channelOf(m.From).Acquire(sim.PrioBackground, readHold, func() {
+					s.channelOf(m.To).Acquire(sim.PrioBackground, s.cfg.Timing.Transfer, func() {
+						s.dieOf(m.To).Acquire(sim.PrioBackground, s.cfg.Timing.Program, next)
+					})
+				})
+			})
+		})
+	}
+	victim := job.Victim
+	steps = append(steps, func(next func()) {
+		s.gcBusy += s.cfg.Timing.Erase
+		die := s.dies[s.cfg.Geometry.DieOf(victim.Plane)]
+		die.Acquire(sim.PrioBackground, s.cfg.Timing.Erase, next)
+	})
+	runSteps(steps, func() {})
+}
+
+// scheduleRefreshScan arms the periodic refresh scan. The scan re-arms
+// itself only while host work remains, so a finished simulation drains.
+func (s *SSD) scheduleRefreshScan(moreWork func() bool) {
+	if s.cfg.FTL.RefreshPeriod == 0 || s.scanning {
+		return
+	}
+	s.scanning = true
+	var tick func()
+	tick = func() {
+		jobs := s.f.DueRefreshes(s.engine.Now())
+		for _, job := range jobs {
+			s.chargeRefresh(job)
+		}
+		if len(jobs) > 0 {
+			// Refresh moves may have drained free blocks, and
+			// emptied blocks are reclaimable.
+			s.runGC()
+		}
+		s.sampleUsage()
+		if moreWork() {
+			s.engine.After(s.cfg.RefreshScanInterval, tick)
+		} else {
+			s.scanning = false
+		}
+	}
+	s.engine.After(s.cfg.RefreshScanInterval, tick)
+}
+
+// chargeRefresh issues the timed operations of one refresh job in the
+// Figure 7 order: read all valid pages, relocate the moved pages, adjust
+// the target wordlines, verify-read the kept pages, write back corrupted
+// pages. Steps chain sequentially per job; jobs on different planes overlap
+// naturally.
+func (s *SSD) chargeRefresh(job ftl.RefreshJob) {
+	var steps []func(next func())
+	read := func(op ftl.ReadOp) func(next func()) {
+		hold := s.cfg.Timing.ReadLatency(op.Senses) + s.cfg.Timing.Transfer
+		return func(next func()) {
+			s.refreshBusy += hold
+			s.dieOf(op.Addr).Acquire(sim.PrioBackground, 0, func() {
+				s.channelOf(op.Addr).Acquire(sim.PrioBackground, hold, next)
+			})
+		}
+	}
+	write := func(m ftl.MoveOp) func(next func()) {
+		return func(next func()) {
+			s.refreshBusy += s.cfg.Timing.Transfer + s.cfg.Timing.Program
+			s.channelOf(m.To).Acquire(sim.PrioBackground, s.cfg.Timing.Transfer, func() {
+				s.dieOf(m.To).Acquire(sim.PrioBackground, s.cfg.Timing.Program, next)
+			})
+		}
+	}
+	// Steps 1-2: read and decode everything valid (decode runs inside
+	// the 20 us ECC engine; charged as wall time after the transfer).
+	for _, op := range job.Reads {
+		steps = append(steps, read(op))
+	}
+	// Step 3: write the relocated pages to the new block.
+	for _, m := range job.Moves {
+		steps = append(steps, write(m))
+	}
+	// Step 4: voltage-adjust each target wordline on the die.
+	if job.AdjustedWLs > 0 {
+		target := job.Target
+		adjusts := job.AdjustedWLs
+		steps = append(steps, func(next func()) {
+			die := s.dies[s.cfg.Geometry.DieOf(target.Plane)]
+			total := time.Duration(adjusts) * s.cfg.Timing.VoltAdjust
+			s.refreshBusy += total
+			// One acquisition per wordline so host reads can slip
+			// in between adjustments.
+			var loop func(k int)
+			loop = func(k int) {
+				if k == 0 {
+					next()
+					return
+				}
+				die.Acquire(sim.PrioBackground, s.cfg.Timing.VoltAdjust, func() { loop(k - 1) })
+			}
+			loop(adjusts)
+		})
+	}
+	// Steps 5-6: verify reads of kept pages.
+	for _, op := range job.VerifyReads {
+		steps = append(steps, read(op))
+	}
+	// Step 8: write back the corrupted pages.
+	for _, m := range job.CorruptedMoves {
+		steps = append(steps, write(m))
+	}
+	runSteps(steps, func() {})
+}
+
+// runSteps chains a sequence of callback-passing steps.
+func runSteps(steps []func(next func()), done func()) {
+	var run func(i int)
+	run = func(i int) {
+		if i == len(steps) {
+			done()
+			return
+		}
+		steps[i](func() { run(i + 1) })
+	}
+	run(0)
+}
+
+// sampleUsage records the block-usage peaks for the Section III-C numbers.
+// Only blocks still holding valid data count as in use: emptied blocks
+// awaiting GC are reclaimable at any moment and say nothing about the IDA
+// coding's space retention.
+func (s *SSD) sampleUsage() {
+	u := s.f.Usage()
+	inUse := u.InUse + u.Active
+	if inUse > s.peakInUse {
+		s.peakInUse = inUse
+	}
+	if u.IDABlocks > s.peakIDA {
+		s.peakIDA = u.IDABlocks
+	}
+}

@@ -1,0 +1,257 @@
+package ssd
+
+import (
+	"fmt"
+	"time"
+
+	"idaflash/internal/ftl"
+	"idaflash/internal/sim"
+	"idaflash/internal/stats"
+	"idaflash/internal/workload"
+)
+
+// RunOptions controls trace execution.
+type RunOptions struct {
+	// WarmupFraction is the fraction of the trace replayed in zero
+	// simulated time before measurement starts, so the device reaches a
+	// realistic valid/invalid mix. Defaults to 0.3.
+	WarmupFraction float64
+	// SkipPrefill leaves the device empty instead of pre-writing the
+	// trace's whole footprint (reads of unwritten pages then count as
+	// unmapped).
+	SkipPrefill bool
+	// Preamble, when non-nil, is an aging write stream (see
+	// workload.Profile.AgingPreamble) replayed in zero simulated time
+	// after the prefill and before the warmup.
+	Preamble *workload.Trace
+}
+
+// Results is everything a single simulation run reports.
+type Results struct {
+	Trace string
+
+	// Host-visible performance.
+	ReadRequests      uint64
+	WriteRequests     uint64
+	MeanReadResponse  time.Duration
+	P99ReadResponse   time.Duration
+	MeanWriteResponse time.Duration
+	Makespan          time.Duration
+	// BusySpan is the simulated time during which at least one host
+	// request was in flight. The storage throughput below divides by it,
+	// so the metric reflects how fast the device serves offered load
+	// rather than how sparse the trace's arrivals are.
+	BusySpan       time.Duration
+	ThroughputMBps float64 // host bytes per second of busy time
+	ReadMBps       float64
+	UnmappedReads  uint64
+
+	// Device internals.
+	FTL       ftl.Stats
+	Usage     ftl.BlockUsage
+	PeakInUse int
+	PeakIDA   int
+
+	// Background load.
+	GCBusy      time.Duration
+	RefreshBusy time.Duration
+
+	// WriteAmplification is (host page programs + GC moves + refresh
+	// moves and write-backs) / host page programs for the measured
+	// phase; 1.0 means no background rewriting.
+	WriteAmplification float64
+
+	// Resource pressure (cumulative over the device's lifetime, since
+	// resources are not reset between phases).
+	MeanDieUtilization     float64
+	MeanChannelUtilization float64
+
+	Events uint64
+}
+
+// Run executes the trace on the device and returns the measurements. It
+// may be called once per SSD instance.
+func (s *SSD) Run(tr *workload.Trace, opts RunOptions) (Results, error) {
+	if err := tr.Validate(); err != nil {
+		return Results{}, err
+	}
+	if s.engine.Processed() != 0 || s.readReqs != 0 || s.f.Stats().HostWrites != 0 {
+		return Results{}, fmt.Errorf("ssd: Run called on a used device")
+	}
+	if opts.WarmupFraction == 0 {
+		opts.WarmupFraction = 0.3
+	}
+	if opts.WarmupFraction < 0 || opts.WarmupFraction >= 1 {
+		return Results{}, fmt.Errorf("ssd: WarmupFraction %v out of [0,1)", opts.WarmupFraction)
+	}
+
+	// Phase 0: prefill the footprint so every read hits mapped data.
+	if !opts.SkipPrefill {
+		if err := s.prefill(tr); err != nil {
+			return Results{}, err
+		}
+	}
+
+	// Phase 1: instant aging preamble and warmup replay.
+	replay := func(reqs []workload.Request, label string) error {
+		for _, r := range reqs {
+			if r.Read {
+				continue // reads have no state effect
+			}
+			first, count := s.lpnRange(r.Offset, r.Size)
+			for i := ftl.LPN(0); i < count; i++ {
+				if _, err := s.f.Write(first+i, 0); err != nil {
+					return fmt.Errorf("ssd: %s: %w", label, err)
+				}
+			}
+			s.f.CollectGC(0)
+		}
+		return nil
+	}
+	if opts.Preamble != nil {
+		if err := replay(opts.Preamble.Requests, "preamble"); err != nil {
+			return Results{}, err
+		}
+	}
+	warmup := int(float64(len(tr.Requests)) * opts.WarmupFraction)
+	if err := replay(tr.Requests[:warmup], "warmup"); err != nil {
+		return Results{}, err
+	}
+	s.f.CloseActiveBlocks()
+	s.f.StaggerBlockAges(0)
+	s.f.ResetStats()
+
+	// Phase 2: timed replay of the measured suffix.
+	measured := tr.Requests[warmup:]
+	if len(measured) == 0 {
+		return Results{}, fmt.Errorf("ssd: nothing left to measure after warmup")
+	}
+	s.replayTimed(measured)
+	return s.results(tr.Name), nil
+}
+
+// RunMore replays an additional trace on an already-run device, continuing
+// from its current simulated time and device state (blocks, coding modes,
+// ages). Metrics are reset first, so the returned Results cover only this
+// phase. It backs the paper's Section III-C analysis: running a
+// write-intensive workload on an SSD previously used with the IDA coding.
+func (s *SSD) RunMore(tr *workload.Trace) (Results, error) {
+	if err := tr.Validate(); err != nil {
+		return Results{}, err
+	}
+	if len(tr.Requests) == 0 {
+		return Results{}, fmt.Errorf("ssd: empty trace")
+	}
+	if s.lastHostDone == 0 {
+		return Results{}, fmt.Errorf("ssd: RunMore needs a prior Run")
+	}
+	s.resetMetrics()
+	s.f.ResetStats()
+	s.replayTimed(tr.Requests)
+	return s.results(tr.Name), nil
+}
+
+// replayTimed schedules the requests (rebased to the current simulated
+// time), arms the refresh scan, and drains the engine.
+func (s *SSD) replayTimed(reqs []workload.Request) {
+	start := s.engine.Now()
+	base := reqs[0].At
+	remaining := len(reqs)
+	var scheduleArrival func(i int)
+	scheduleArrival = func(i int) {
+		r := reqs[i]
+		s.engine.At(start+sim.Time(r.At-base), func() {
+			remaining--
+			s.submit(r)
+			if i+1 < len(reqs) {
+				scheduleArrival(i + 1)
+			}
+		})
+	}
+	scheduleArrival(0)
+	s.scheduleRefreshScan(func() bool {
+		return remaining > 0 || s.inFlight > 0 || len(s.hostQueue) > 0
+	})
+	s.engine.Run()
+}
+
+// resetMetrics zeroes the host-visible accumulators so a subsequent phase
+// measures only itself. Device state and the simulated clock carry over.
+func (s *SSD) resetMetrics() {
+	s.readResp = stats.LatencyHist{}
+	s.writeResp = stats.LatencyHist{}
+	s.readBytes, s.writeBytes = 0, 0
+	s.readReqs, s.writeReqs = 0, 0
+	s.unmapped = 0
+	s.busySpan = 0
+	s.gcBusy, s.refreshBusy = 0, 0
+	s.peakInUse, s.peakIDA = 0, 0
+	s.phaseStart = s.engine.Now()
+}
+
+// prefill writes every page of the trace's footprint once, in zero
+// simulated time.
+func (s *SSD) prefill(tr *workload.Trace) error {
+	var maxEnd int64
+	for _, r := range tr.Requests {
+		if r.End() > maxEnd {
+			maxEnd = r.End()
+		}
+	}
+	pages := ftl.LPN((maxEnd + int64(s.pageSize) - 1) / int64(s.pageSize))
+	capacity := ftl.LPN(s.cfg.Geometry.TotalPages())
+	if pages > capacity {
+		return fmt.Errorf("ssd: trace footprint %d pages exceeds device capacity %d", pages, capacity)
+	}
+	for lpn := ftl.LPN(0); lpn < pages; lpn++ {
+		if _, err := s.f.Write(lpn, 0); err != nil {
+			return fmt.Errorf("ssd: prefill: %w", err)
+		}
+		if lpn%1024 == 0 {
+			s.f.CollectGC(0)
+		}
+	}
+	s.f.CollectGC(0)
+	return nil
+}
+
+// results snapshots the run's measurements.
+func (s *SSD) results(name string) Results {
+	s.sampleUsage()
+	r := Results{
+		Trace:             name,
+		ReadRequests:      s.readReqs,
+		WriteRequests:     s.writeReqs,
+		MeanReadResponse:  s.readResp.Mean(),
+		P99ReadResponse:   s.readResp.Quantile(0.99),
+		MeanWriteResponse: s.writeResp.Mean(),
+		Makespan:          s.lastHostDone - s.phaseStart,
+		UnmappedReads:     s.unmapped,
+		FTL:               s.f.Stats(),
+		Usage:             s.f.Usage(),
+		PeakInUse:         s.peakInUse,
+		PeakIDA:           s.peakIDA,
+		GCBusy:            s.gcBusy,
+		RefreshBusy:       s.refreshBusy,
+		Events:            s.engine.Processed(),
+	}
+	if hw := r.FTL.HostWrites; hw > 0 {
+		total := hw + r.FTL.GCMoves + r.FTL.RefreshMoves + r.FTL.IDACorruptedWrites
+		r.WriteAmplification = float64(total) / float64(hw)
+	}
+	for _, d := range s.dies {
+		r.MeanDieUtilization += d.Utilization()
+	}
+	r.MeanDieUtilization /= float64(len(s.dies))
+	for _, c := range s.channels {
+		r.MeanChannelUtilization += c.Utilization()
+	}
+	r.MeanChannelUtilization /= float64(len(s.channels))
+	r.BusySpan = s.busySpan
+	if s.busySpan > 0 {
+		secs := s.busySpan.Seconds()
+		r.ThroughputMBps = float64(s.readBytes+s.writeBytes) / (1 << 20) / secs
+		r.ReadMBps = float64(s.readBytes) / (1 << 20) / secs
+	}
+	return r
+}

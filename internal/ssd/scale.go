@@ -1,0 +1,31 @@
+package ssd
+
+import (
+	"idaflash/internal/flash"
+)
+
+// ScaledGeometry shrinks a baseline geometry's per-plane block count so a
+// device sized for the given workload footprint simulates quickly while
+// keeping the paper's parallelism (channels, chips, dies, planes) and block
+// shape intact. headroom multiplies the footprint to leave room for
+// over-provisioning, the IDA coding's in-use block growth (Section III-C
+// reports up to +30% of the workload footprint), and GC watermarks;
+// values below 1.3 are raised to 1.6.
+func ScaledGeometry(base flash.Geometry, footprintBytes int64, headroom float64) flash.Geometry {
+	if headroom < 1.3 {
+		headroom = 1.6
+	}
+	g := base
+	blockBytes := int64(g.PagesPerBlock()) * int64(g.PageSizeBytes)
+	needBlocks := (footprintBytes*int64(headroom*1000)/1000 + blockBytes - 1) / blockBytes
+	perPlane := int(needBlocks)/g.Planes() + 1
+	// Keep at least the GC watermark plus a handful of working blocks.
+	if perPlane < 8 {
+		perPlane = 8
+	}
+	if perPlane > base.BlocksPerPlane {
+		perPlane = base.BlocksPerPlane
+	}
+	g.BlocksPerPlane = perPlane
+	return g
+}

@@ -1,0 +1,154 @@
+// Package ssd assembles the full simulated device: the FTL state machine,
+// the discrete-event engine, per-die and per-channel resources with
+// read-first scheduling, the ECC/read-retry stage, and background garbage
+// collection and data refresh. It is the counterpart of the paper's
+// DiskSim+SSD setup (Section IV-A) with the flash timing, data refresh, and
+// IDA coding modules built in.
+package ssd
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"idaflash/internal/ecc"
+	"idaflash/internal/flash"
+	"idaflash/internal/ftl"
+	"idaflash/internal/sim"
+	"idaflash/internal/stats"
+)
+
+// Config describes a complete simulated SSD.
+type Config struct {
+	// Geometry is the physical shape. Required.
+	Geometry flash.Geometry
+	// Timing is the device timing. Required.
+	Timing flash.TimingSpec
+	// FTL carries the translation-layer options. Its Geometry field is
+	// overwritten with Config.Geometry.
+	FTL ftl.Options
+	// ECC configures the decode/retry model; a zero value gets the
+	// paper's early-lifetime parameters (20 us decode, no retries).
+	ECC ecc.Params
+	// RefreshScanInterval is how often the refresh manager scans for due
+	// blocks; defaults to one simulated minute.
+	RefreshScanInterval time.Duration
+	// MaxQueueDepth caps concurrently-serviced host requests, as a host
+	// interface's submission queue would; arrivals beyond the cap wait
+	// in a host-side FIFO (their wait counts toward response time).
+	// Zero means unlimited.
+	MaxQueueDepth int
+	// Seed drives the device-level randomness (ECC retry draws).
+	Seed int64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if err := c.Geometry.Validate(); err != nil {
+		return c, err
+	}
+	if err := c.Timing.Validate(); err != nil {
+		return c, err
+	}
+	if c.ECC.DecodeLatency == 0 {
+		c.ECC = ecc.PaperParams(ecc.PhaseEarly)
+		c.ECC.DecodeLatency = c.Timing.ECCDecode
+	}
+	if err := c.ECC.Validate(); err != nil {
+		return c, err
+	}
+	if c.RefreshScanInterval == 0 {
+		c.RefreshScanInterval = time.Minute
+	}
+	if c.RefreshScanInterval < 0 {
+		return c, fmt.Errorf("ssd: RefreshScanInterval %v must be positive", c.RefreshScanInterval)
+	}
+	if c.MaxQueueDepth < 0 {
+		return c, fmt.Errorf("ssd: MaxQueueDepth %d must be non-negative", c.MaxQueueDepth)
+	}
+	c.FTL.Geometry = c.Geometry
+	return c, nil
+}
+
+// SSD is one simulated device instance. Like the engine it runs on, it is
+// single-goroutine by design.
+type SSD struct {
+	cfg    Config
+	engine *sim.Engine
+	f      *ftl.FTL
+	rng    *rand.Rand
+
+	dies     []*sim.Resource
+	channels []*sim.Resource
+
+	pageSize int
+
+	// Host-visible accounting.
+	inFlight     int
+	hostQueue    []queuedRequest
+	lastHostDone sim.Time
+	busyStart    sim.Time
+	busySpan     time.Duration
+	phaseStart   sim.Time
+	readResp     stats.LatencyHist
+	writeResp    stats.LatencyHist
+	readBytes    uint64
+	writeBytes   uint64
+	readReqs     uint64
+	writeReqs    uint64
+	unmapped     uint64
+
+	// Background accounting.
+	gcBusy      time.Duration
+	refreshBusy time.Duration
+	peakInUse   int
+	peakIDA     int
+
+	scanning bool
+}
+
+// New builds an SSD from the config.
+func New(cfg Config) (*SSD, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	f, err := ftl.New(cfg.FTL)
+	if err != nil {
+		return nil, err
+	}
+	s := &SSD{
+		cfg:      cfg,
+		engine:   sim.NewEngine(),
+		f:        f,
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x53534421)),
+		pageSize: cfg.Geometry.PageSizeBytes,
+	}
+	s.dies = make([]*sim.Resource, cfg.Geometry.Dies())
+	for i := range s.dies {
+		s.dies[i] = sim.NewResource(s.engine, fmt.Sprintf("die%d", i))
+	}
+	s.channels = make([]*sim.Resource, cfg.Geometry.Channels)
+	for i := range s.channels {
+		s.channels[i] = sim.NewResource(s.engine, fmt.Sprintf("ch%d", i))
+	}
+	return s, nil
+}
+
+// Engine exposes the simulation engine (tests and advanced drivers).
+func (s *SSD) Engine() *sim.Engine { return s.engine }
+
+// FTL exposes the translation layer (tests and experiments).
+func (s *SSD) FTL() *ftl.FTL { return s.f }
+
+// Config returns the configuration after defaulting.
+func (s *SSD) Config() Config { return s.cfg }
+
+// dieOf returns the die resource serving a flash address.
+func (s *SSD) dieOf(a flash.PageAddr) *sim.Resource {
+	return s.dies[s.cfg.Geometry.DieOf(a.Plane)]
+}
+
+// channelOf returns the channel resource serving a flash address.
+func (s *SSD) channelOf(a flash.PageAddr) *sim.Resource {
+	return s.channels[s.cfg.Geometry.ChannelOf(a.Plane)]
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The MSR Cambridge block traces (SNIA IOTTA) are CSV lines of the form
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//
+// where Timestamp is a Windows filetime (100 ns ticks), Type is "Read" or
+// "Write", Offset and Size are bytes, and ResponseTime is in 100 ns ticks.
+// ParseMSR reads that format; WriteMSR emits it (with a synthetic hostname),
+// so synthetic traces can be stored and replayed interchangeably with the
+// real ones.
+
+const msrTick = 100 * time.Nanosecond
+
+// ParseMSR parses an MSR Cambridge format trace. Arrival times are
+// rebased so the first request arrives at zero. Blank lines are skipped;
+// any malformed line aborts with an error naming the line number.
+func ParseMSR(name string, r io.Reader) (*Trace, error) {
+	t := &Trace{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var base int64
+	haveBase := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) < 6 {
+			return nil, fmt.Errorf("workload: %s line %d: %d fields, want >= 6", name, lineNo, len(f))
+		}
+		ts, err := strconv.ParseInt(strings.TrimSpace(f[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s line %d: bad timestamp: %v", name, lineNo, err)
+		}
+		var isRead bool
+		switch strings.ToLower(strings.TrimSpace(f[3])) {
+		case "read", "r":
+			isRead = true
+		case "write", "w":
+			isRead = false
+		default:
+			return nil, fmt.Errorf("workload: %s line %d: bad type %q", name, lineNo, f[3])
+		}
+		off, err := strconv.ParseInt(strings.TrimSpace(f[4]), 10, 64)
+		if err != nil || off < 0 {
+			return nil, fmt.Errorf("workload: %s line %d: bad offset %q", name, lineNo, f[4])
+		}
+		size, err := strconv.Atoi(strings.TrimSpace(f[5]))
+		if err != nil || size <= 0 {
+			return nil, fmt.Errorf("workload: %s line %d: bad size %q", name, lineNo, f[5])
+		}
+		if !haveBase {
+			base = ts
+			haveBase = true
+		}
+		if ts < base {
+			return nil, fmt.Errorf("workload: %s line %d: timestamp goes backwards", name, lineNo)
+		}
+		t.Requests = append(t.Requests, Request{
+			At:     time.Duration(ts-base) * msrTick,
+			Offset: off,
+			Size:   size,
+			Read:   isRead,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: %s: %v", name, err)
+	}
+	return t, nil
+}
+
+// WriteMSR serializes a trace in the MSR Cambridge CSV format. The hostname
+// column carries the trace name and the disk number is 0; response times are
+// written as 0 (they are an output of simulation, not an input).
+func WriteMSR(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	host := strings.ReplaceAll(t.Name, ",", "_")
+	if host == "" {
+		host = "synthetic"
+	}
+	for _, r := range t.Requests {
+		typ := "Write"
+		if r.Read {
+			typ = "Read"
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%s,0,%s,%d,%d,0\n",
+			int64(r.At/msrTick), host, typ, r.Offset, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

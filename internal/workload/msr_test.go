@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseMSR(t *testing.T) {
+	in := strings.Join([]string{
+		"128166372003061629,web0,0,Read,7014609920,24576,41286",
+		"",
+		"128166372013061629,web0,0,Write,7014634496,8192,2910",
+		"128166372023061629,web0,0,Read,0,4096,100",
+	}, "\n")
+	tr, err := ParseMSR("web0", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 3 {
+		t.Fatalf("requests = %d", len(tr.Requests))
+	}
+	if tr.Requests[0].At != 0 {
+		t.Errorf("first arrival = %v, want 0 (rebased)", tr.Requests[0].At)
+	}
+	// 10^7 ticks of 100ns = 1s.
+	if tr.Requests[1].At != time.Second {
+		t.Errorf("second arrival = %v, want 1s", tr.Requests[1].At)
+	}
+	if !tr.Requests[0].Read || tr.Requests[1].Read {
+		t.Error("types wrong")
+	}
+	if tr.Requests[0].Offset != 7014609920 || tr.Requests[0].Size != 24576 {
+		t.Errorf("first request = %+v", tr.Requests[0])
+	}
+}
+
+func TestParseMSRShortTypeNames(t *testing.T) {
+	in := "100,h,0,R,0,4096,0\n200,h,0,W,4096,4096,0\n"
+	tr, err := ParseMSR("h", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Requests[0].Read || tr.Requests[1].Read {
+		t.Error("short type names not accepted")
+	}
+}
+
+func TestParseMSRErrors(t *testing.T) {
+	cases := []string{
+		"1,h,0,Read,0",                       // too few fields
+		"x,h,0,Read,0,4096,0",                // bad timestamp
+		"1,h,0,Banana,0,4096,0",              // bad type
+		"1,h,0,Read,-5,4096,0",               // negative offset
+		"1,h,0,Read,abc,4096,0",              // bad offset
+		"1,h,0,Read,0,0,0",                   // zero size
+		"1,h,0,Read,0,x,0",                   // bad size
+		"5,h,0,Read,0,1,0\n1,h,0,Read,0,1,0", // time goes backwards
+	}
+	for i, in := range cases {
+		if _, err := ParseMSR("t", strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should fail: %q", i, in)
+		}
+	}
+}
+
+func TestMSRRoundTrip(t *testing.T) {
+	p := Profile{Name: "round", ReadRatio: 0.8, MeanReadKB: 24, ReadDataRatio: 0.8, Requests: 500}
+	orig, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMSR(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseMSR("round", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Requests) != len(orig.Requests) {
+		t.Fatalf("round trip lost requests: %d vs %d", len(back.Requests), len(orig.Requests))
+	}
+	for i := range orig.Requests {
+		o, b := orig.Requests[i], back.Requests[i]
+		if o.Offset != b.Offset || o.Size != b.Size || o.Read != b.Read {
+			t.Fatalf("request %d mismatch: %+v vs %+v", i, o, b)
+		}
+		// ParseMSR rebases arrivals to the first request, and times
+		// quantize to 100ns ticks.
+		want := o.At - orig.Requests[0].At
+		if d := want - b.At; d < -msrTick || d > msrTick {
+			t.Fatalf("request %d time drift %v", i, d)
+		}
+	}
+}
+
+func TestWriteMSREmptyName(t *testing.T) {
+	var buf bytes.Buffer
+	tr := &Trace{Requests: []Request{{At: 0, Offset: 0, Size: 8192, Read: true}}}
+	if err := WriteMSR(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "synthetic") {
+		t.Errorf("empty name should become synthetic: %q", buf.String())
+	}
+}

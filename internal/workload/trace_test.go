@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTraceSpanAndValidate(t *testing.T) {
+	tr := &Trace{Name: "t"}
+	if tr.Span() != 0 {
+		t.Error("empty trace span should be 0")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("empty trace should validate: %v", err)
+	}
+	tr.Requests = []Request{
+		{At: 0, Offset: 0, Size: 8192, Read: true},
+		{At: time.Millisecond, Offset: 8192, Size: 8192, Read: false},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("valid trace failed: %v", err)
+	}
+	if tr.Span() != time.Millisecond {
+		t.Errorf("span = %v", tr.Span())
+	}
+}
+
+func TestTraceValidateErrors(t *testing.T) {
+	cases := []Trace{
+		{Requests: []Request{{At: time.Second}, {At: 0, Size: 1}}},
+		{Requests: []Request{{At: 0, Offset: -1, Size: 1}}},
+		{Requests: []Request{{At: 0, Offset: 0, Size: 0}}},
+	}
+	for i := range cases {
+		if err := cases[i].Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestTraceStats(t *testing.T) {
+	tr := &Trace{
+		Name: "t",
+		Requests: []Request{
+			{At: 0, Offset: 0, Size: 16384, Read: true},
+			{At: time.Second, Offset: 32768, Size: 8192, Read: true},
+			{At: 2 * time.Second, Offset: 0, Size: 8192, Read: false},
+		},
+	}
+	s := tr.Stats()
+	if s.Requests != 3 {
+		t.Errorf("requests = %d", s.Requests)
+	}
+	if got, want := s.ReadRatio, 2.0/3.0; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("read ratio = %v", got)
+	}
+	if s.MeanReadKB != 12 {
+		t.Errorf("mean read KB = %v, want 12", s.MeanReadKB)
+	}
+	if s.MeanWriteKB != 8 {
+		t.Errorf("mean write KB = %v, want 8", s.MeanWriteKB)
+	}
+	if got, want := s.ReadDataRatio, 24.0/32.0; got != want {
+		t.Errorf("read data ratio = %v, want %v", got, want)
+	}
+	// Footprint: [0,16384) + [32768,40960) = 24576 bytes; the write
+	// overlaps the first read.
+	if got, want := s.FootprintMB, 24576.0/(1<<20); got != want {
+		t.Errorf("footprint = %v MB, want %v", got, want)
+	}
+	if s.Span != 2*time.Second {
+		t.Errorf("span = %v", s.Span)
+	}
+}
+
+func TestTraceStatsEmpty(t *testing.T) {
+	s := (&Trace{}).Stats()
+	if s.Requests != 0 || s.FootprintMB != 0 || s.ReadRatio != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestRequestEnd(t *testing.T) {
+	r := Request{Offset: 100, Size: 28}
+	if r.End() != 128 {
+		t.Errorf("End() = %d", r.End())
+	}
+}
