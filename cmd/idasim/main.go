@@ -1,10 +1,11 @@
-// Command idasim runs one workload on one simulated SSD configuration and
-// prints the measurements.
+// Command idasim runs one workload on one simulated SSD configuration — or
+// a striped multi-device array of them — and prints the measurements.
 //
 // Usage:
 //
 //	idasim -workload usr_1 [-requests N] [-ida] [-error 0.2]
 //	       [-deltatr 50us] [-bits 3] [-late]
+//	       [-sched read-first|fifo|age-aware] [-devices N] [-stripekb K]
 //	idasim -trace trace.csv [-ida] ...
 //
 // With -trace, the file is parsed in the MSR Cambridge CSV format
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"idaflash"
+	"idaflash/internal/array"
 	"idaflash/internal/ssd"
 	"idaflash/internal/workload"
 )
@@ -33,6 +35,11 @@ func main() {
 		deltaTR   = flag.Duration("deltatr", 0, "override delta-tR (e.g. 70us); 0 keeps the device default")
 		bits      = flag.Int("bits", 3, "bits per cell: 2 (MLC), 3 (TLC), 4 (QLC)")
 		late      = flag.Bool("late", false, "simulate the late SSD lifetime (LDPC read retries)")
+		sched     = flag.String("sched", "", "die/channel scheduler: read-first (default), fifo, or age-aware")
+		maxWait   = flag.Duration("sched-maxwait", 0, "age-aware starvation bound; 0 uses the built-in default")
+		devices   = flag.Int("devices", 1, "stripe the workload across this many independent devices")
+		stripeKB  = flag.Int("stripekb", 0, "array stripe unit in KiB; 0 uses the default (64)")
+		perDevice = flag.Bool("per-device", false, "with -devices > 1, print one summary per member device")
 		asJSON    = flag.Bool("json", false, "emit the full Results struct as JSON")
 	)
 	flag.Parse()
@@ -46,16 +53,35 @@ func main() {
 	if *late {
 		sys.Lifetime = idaflash.PhaseLate
 	}
+	policy, err := idaflash.ParseSchedulerPolicy(*sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sys.Scheduler = policy
+	sys.SchedulerMaxWait = *maxWait
+	if *devices < 1 {
+		fmt.Fprintf(os.Stderr, "-devices %d: must be at least 1\n", *devices)
+		os.Exit(1)
+	}
+	sys.Devices = *devices
+	sys.StripeKB = *stripeKB
 
 	var res idaflash.Results
-	var err error
+	var per []idaflash.Results
 	if *tracePath != "" {
-		res, err = runTrace(*tracePath, sys)
+		res, per, err = runTrace(*tracePath, sys)
 	} else {
 		var p idaflash.Profile
 		p, err = idaflash.ProfileByName(*name, *requests)
 		if err == nil {
-			res, err = idaflash.RunWorkload(p, sys)
+			if sys.Devices > 1 {
+				var ar idaflash.ArrayResults
+				ar, err = idaflash.RunArrayWorkload(p, sys)
+				res, per = ar.Combined, ar.PerDevice
+			} else {
+				res, err = idaflash.RunWorkload(p, sys)
+			}
 		}
 	}
 	if err != nil {
@@ -65,28 +91,41 @@ func main() {
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(struct {
-			System string
+		out := struct {
+			System    string
+			Scheduler string
+			Devices   int
 			idaflash.Results
-		}{sys.Name, res}); err != nil {
+			PerDevice []idaflash.Results `json:",omitempty"`
+		}{sys.Name, string(policy), max(1, sys.Devices), res, nil}
+		if *perDevice {
+			out.PerDevice = per
+		}
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
-	report(sys, res)
+	report(sys, policy, res)
+	if *perDevice {
+		for d, r := range per {
+			fmt.Printf("\n--- device %d ---\n", d)
+			report(sys, policy, r)
+		}
+	}
 }
 
-// runTrace replays an MSR CSV file on a device sized for it.
-func runTrace(path string, sys idaflash.System) (idaflash.Results, error) {
+// runTrace replays an MSR CSV file on a device (or array) sized for it.
+func runTrace(path string, sys idaflash.System) (idaflash.Results, []idaflash.Results, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return idaflash.Results{}, err
+		return idaflash.Results{}, nil, err
 	}
 	defer f.Close()
 	tr, err := workload.ParseMSR(path, f)
 	if err != nil {
-		return idaflash.Results{}, err
+		return idaflash.Results{}, nil, err
 	}
 	stats := tr.Stats()
 	// Build the device around the trace footprint; BuildConfig handles
@@ -102,19 +141,43 @@ func runTrace(path string, sys idaflash.System) (idaflash.Results, error) {
 	if p.MeanReadKB == 0 {
 		p.MeanReadKB = 8
 	}
+	if sys.Devices > 1 {
+		// Size each member for its stripe share of the footprint.
+		pdev := p
+		pdev.FootprintMB = p.FootprintMB/float64(sys.Devices) + 1
+		cfg, _, err := idaflash.BuildConfig(pdev, sys)
+		if err != nil {
+			return idaflash.Results{}, nil, err
+		}
+		arr, err := array.New(array.Config{Devices: sys.Devices, StripeKB: sys.StripeKB, Device: cfg})
+		if err != nil {
+			return idaflash.Results{}, nil, err
+		}
+		res, err := arr.Run(tr, ssd.RunOptions{})
+		return res.Combined, res.PerDevice, err
+	}
 	cfg, _, err := idaflash.BuildConfig(p, sys)
 	if err != nil {
-		return idaflash.Results{}, err
+		return idaflash.Results{}, nil, err
 	}
 	dev, err := idaflash.NewSSD(cfg)
 	if err != nil {
-		return idaflash.Results{}, err
+		return idaflash.Results{}, nil, err
 	}
-	return dev.Run(tr, ssd.RunOptions{})
+	res, err := dev.Run(tr, ssd.RunOptions{})
+	return res, nil, err
 }
 
-func report(sys idaflash.System, r idaflash.Results) {
+func report(sys idaflash.System, policy idaflash.SchedulerPolicy, r idaflash.Results) {
 	fmt.Printf("system:               %s\n", sys.Name)
+	fmt.Printf("scheduler:            %s\n", policy)
+	if sys.Devices > 1 {
+		stripe := sys.StripeKB
+		if stripe == 0 {
+			stripe = array.DefaultStripeKB
+		}
+		fmt.Printf("array:                %d devices, %d KiB stripe\n", sys.Devices, stripe)
+	}
 	fmt.Printf("trace:                %s\n", r.Trace)
 	fmt.Printf("read requests:        %d\n", r.ReadRequests)
 	fmt.Printf("write requests:       %d\n", r.WriteRequests)
@@ -123,6 +186,9 @@ func report(sys idaflash.System, r idaflash.Results) {
 	fmt.Printf("mean write response:  %v\n", r.MeanWriteResponse.Round(time.Microsecond))
 	fmt.Printf("throughput:           %.1f MB/s (reads %.1f MB/s)\n", r.ThroughputMBps, r.ReadMBps)
 	fmt.Printf("makespan:             %v\n", r.Makespan.Round(time.Millisecond))
+	fmt.Printf("host-queued requests: %d (max depth %d, total wait %v)\n",
+		r.Stages.Admission.HostQueued, r.Stages.Admission.MaxHostQueue,
+		r.Stages.Admission.HostQueueWait.Round(time.Microsecond))
 	fmt.Printf("refreshes:            %d (%d with IDA, %d WLs adjusted)\n",
 		r.FTL.Refreshes, r.FTL.IDARefreshes, r.FTL.IDAAdjustedWLs)
 	fmt.Printf("reads from IDA WLs:   %d of %d\n", r.FTL.ReadsFromIDA, r.FTL.HostReads)

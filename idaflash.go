@@ -31,10 +31,12 @@ import (
 	"fmt"
 	"time"
 
+	"idaflash/internal/array"
 	"idaflash/internal/coding"
 	"idaflash/internal/ecc"
 	"idaflash/internal/flash"
 	"idaflash/internal/ftl"
+	"idaflash/internal/sim"
 	"idaflash/internal/ssd"
 	"idaflash/internal/workload"
 )
@@ -78,7 +80,36 @@ type (
 	Results = ssd.Results
 	// RunOptions controls warmup and prefill.
 	RunOptions = ssd.RunOptions
+	// SchedulerPolicy names a die/channel scheduling discipline.
+	SchedulerPolicy = sim.Policy
+	// Array is a striped multi-device set of SSDs.
+	Array = array.Array
+	// ArrayConfig describes a striped array topology.
+	ArrayConfig = array.Config
+	// ArrayResults pairs merged and per-device array measurements.
+	ArrayResults = array.Results
 )
+
+// Scheduling policies for System.Scheduler and SSDConfig.Scheduler.
+const (
+	// SchedReadFirst is the paper's policy: reads overtake writes, both
+	// overtake background work. The default.
+	SchedReadFirst = sim.PolicyReadFirst
+	// SchedFIFO serves die/channel queues strictly in arrival order.
+	SchedFIFO = sim.PolicyFIFO
+	// SchedAgeAware is read-first with a starvation bound for writes and
+	// background work.
+	SchedAgeAware = sim.PolicyAgeAware
+)
+
+// SchedulerPolicies lists the selectable policies.
+func SchedulerPolicies() []SchedulerPolicy { return sim.Policies() }
+
+// ParseSchedulerPolicy validates a policy name ("" means read-first).
+func ParseSchedulerPolicy(s string) (SchedulerPolicy, error) { return sim.ParsePolicy(s) }
+
+// NewArray builds a striped multi-device array.
+func NewArray(cfg ArrayConfig) (*Array, error) { return array.New(cfg) }
 
 // Lifetime phases (Figure 11).
 const (
@@ -165,6 +196,19 @@ type System struct {
 	// Gray coding, exercising the paper's claim that IDA combines with
 	// any coding scheme. Only valid with 3 bits/cell.
 	Vendor232 bool
+	// Scheduler selects the die/channel arbitration policy: SchedReadFirst
+	// (default, the paper's), SchedFIFO, or SchedAgeAware.
+	Scheduler SchedulerPolicy
+	// SchedulerMaxWait bounds write/background starvation under
+	// SchedAgeAware; zero uses the built-in default. Ignored otherwise.
+	SchedulerMaxWait time.Duration
+	// Devices stripes the workload RAID-0-style across this many
+	// independent devices, each sized for its share of the footprint.
+	// 0 or 1 means a single device.
+	Devices int
+	// StripeKB is the array stripe unit in KiB; zero uses the array
+	// default (64). Only meaningful with Devices > 1.
+	StripeKB int
 }
 
 // Baseline returns the paper's baseline system.
@@ -248,17 +292,60 @@ func BuildConfig(p Profile, sys System) (SSDConfig, Profile, error) {
 		},
 		ECC:                 eccParams,
 		RefreshScanInterval: p.Duration / 300,
+		Scheduler:           sys.Scheduler,
+		SchedulerMaxWait:    sys.SchedulerMaxWait,
 		Seed:                p.Seed,
 	}
 	return cfg, p, nil
 }
 
-// RunWorkload generates the profile's trace and runs it on a device built
-// for the system description, returning the measurements. Two calls with
-// identical arguments produce identical results.
+// RunWorkload generates the profile's trace and runs it on a device — or,
+// when sys.Devices > 1, a striped array of devices — built for the system
+// description, returning the measurements. Two calls with identical
+// arguments produce identical results.
 func RunWorkload(p Profile, sys System) (Results, error) {
+	if sys.Devices > 1 {
+		res, err := RunArrayWorkload(p, sys)
+		return res.Combined, err
+	}
 	r, _, err := runWorkload(p, sys)
 	return r, err
+}
+
+// RunArrayWorkload runs the profile on a striped array of sys.Devices
+// devices, each sized for its share of the workload footprint, and returns
+// both the merged and the per-device measurements. sys.Devices of 0 or 1
+// runs a one-device array.
+func RunArrayWorkload(p Profile, sys System) (ArrayResults, error) {
+	devices := sys.Devices
+	if devices < 1 {
+		devices = 1
+	}
+	np, err := p.Normalize()
+	if err != nil {
+		return ArrayResults{}, err
+	}
+	// Each member device holds ~1/devices of the striped footprint; size
+	// its geometry for that share (plus a stripe of rounding slack).
+	pdev := np
+	pdev.FootprintMB = np.FootprintMB/float64(devices) + 1
+	cfg, _, err := BuildConfig(pdev, sys)
+	if err != nil {
+		return ArrayResults{}, err
+	}
+	tr, err := np.Generate()
+	if err != nil {
+		return ArrayResults{}, err
+	}
+	pre, err := np.AgingPreamble()
+	if err != nil {
+		return ArrayResults{}, err
+	}
+	arr, err := array.New(array.Config{Devices: devices, StripeKB: sys.StripeKB, Device: cfg})
+	if err != nil {
+		return ArrayResults{}, err
+	}
+	return arr.Run(tr, RunOptions{Preamble: pre})
 }
 
 func runWorkload(p Profile, sys System) (Results, *SSD, error) {

@@ -263,3 +263,81 @@ func TestVendor232System(t *testing.T) {
 		t.Error("IDA idle under the vendor coding")
 	}
 }
+
+func TestSchedulerKnobPlumbing(t *testing.T) {
+	p := smallProfile(t, "proj_3")
+	sys := idaflash.Baseline()
+	sys.Scheduler = idaflash.SchedAgeAware
+	sys.SchedulerMaxWait = 5 * time.Millisecond
+	cfg, _, err := idaflash.BuildConfig(p, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scheduler != idaflash.SchedAgeAware || cfg.SchedulerMaxWait != 5*time.Millisecond {
+		t.Errorf("scheduler knobs not plumbed: %v / %v", cfg.Scheduler, cfg.SchedulerMaxWait)
+	}
+	bad := sys
+	bad.Scheduler = "bogus"
+	badCfg, _, err := idaflash.BuildConfig(p, bad)
+	if err == nil {
+		if _, err := idaflash.NewSSD(badCfg); err == nil {
+			t.Error("bogus scheduler survived BuildConfig and NewSSD")
+		}
+	}
+	if _, err := idaflash.ParseSchedulerPolicy("fifo"); err != nil {
+		t.Error(err)
+	}
+	if got := len(idaflash.SchedulerPolicies()); got != 3 {
+		t.Errorf("SchedulerPolicies() has %d entries", got)
+	}
+	// Every policy runs end to end through the facade.
+	for _, pol := range idaflash.SchedulerPolicies() {
+		s := idaflash.Baseline()
+		s.Scheduler = pol
+		res, err := idaflash.RunWorkload(p, s)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if res.ReadRequests == 0 {
+			t.Errorf("%s: no reads served", pol)
+		}
+	}
+}
+
+func TestRunArrayWorkload(t *testing.T) {
+	p := smallProfile(t, "usr_1")
+	sys := idaflash.IDA(0.2)
+	sys.Devices = 4
+	single, err := idaflash.RunWorkload(p, idaflash.IDA(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := idaflash.RunArrayWorkload(p, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.PerDevice) != 4 || ar.Devices != 4 {
+		t.Fatalf("array shape: %d devices, %d per-device results", ar.Devices, len(ar.PerDevice))
+	}
+	if ar.Combined.ThroughputMBps <= single.ThroughputMBps {
+		t.Errorf("4-device throughput %.1f MB/s not above single device %.1f MB/s",
+			ar.Combined.ThroughputMBps, single.ThroughputMBps)
+	}
+	// RunWorkload routes through the array when Devices > 1 and returns
+	// the merged view.
+	merged, err := idaflash.RunWorkload(p, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != ar.Combined {
+		t.Error("RunWorkload(Devices=4) diverged from RunArrayWorkload().Combined")
+	}
+	// Array runs are reproducible end to end.
+	again, err := idaflash.RunArrayWorkload(p, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Combined != ar.Combined {
+		t.Error("array workload not deterministic")
+	}
+}

@@ -1,0 +1,260 @@
+// Package array implements a RAID-0-style striped array of independent
+// simulated SSDs, the scale-out layer above internal/ssd. Host requests are
+// split at a fixed stripe unit across N devices; each device runs its own
+// deterministic discrete-event engine on its own goroutine, and a merge
+// step combines the per-device measurements into array-level latency and
+// throughput metrics.
+//
+// Determinism: each device's simulation is bit-for-bit reproducible on its
+// own (the engines share nothing), and the merge is a pure function of the
+// per-device results, so a whole array run is reproducible too — the
+// goroutines only buy wall-clock speed.
+package array
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"idaflash/internal/ssd"
+	"idaflash/internal/workload"
+)
+
+// DefaultStripeKB is the stripe unit used when Config.StripeKB is zero.
+const DefaultStripeKB = 64
+
+// seedStep decorrelates per-device randomness: device i runs with the
+// template seed offset by i*seedStep.
+const seedStep = 0x9E3779B9
+
+// Config describes a striped array.
+type Config struct {
+	// Devices is the number of independent SSDs. Must be at least 1.
+	Devices int
+	// StripeKB is the stripe unit in KiB; requests are dealt across
+	// devices in chunks of this size. Zero means DefaultStripeKB. It
+	// should be a multiple of the device page size for aligned splits.
+	StripeKB int
+	// Device is the per-device configuration template. Each device gets
+	// a decorrelated Seed (and FTL seed) derived from it.
+	Device ssd.Config
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Devices < 1 {
+		return c, fmt.Errorf("array: Devices %d must be at least 1", c.Devices)
+	}
+	if c.StripeKB < 0 {
+		return c, fmt.Errorf("array: StripeKB %d must be non-negative", c.StripeKB)
+	}
+	if c.StripeKB == 0 {
+		c.StripeKB = DefaultStripeKB
+	}
+	return c, nil
+}
+
+// Array is a striped set of simulated SSDs.
+type Array struct {
+	cfg  Config
+	unit int64 // stripe unit in bytes
+	devs []*ssd.SSD
+}
+
+// New builds the array: Devices independent SSD instances from the config
+// template, each with its own decorrelated seed.
+func New(cfg Config) (*Array, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	a := &Array{cfg: cfg, unit: int64(cfg.StripeKB) * 1024}
+	a.devs = make([]*ssd.SSD, cfg.Devices)
+	for i := range a.devs {
+		dc := cfg.Device
+		dc.Seed += int64(i) * seedStep
+		dc.FTL.Seed += int64(i) * seedStep
+		dev, err := ssd.New(dc)
+		if err != nil {
+			return nil, fmt.Errorf("array: device %d: %w", i, err)
+		}
+		a.devs[i] = dev
+	}
+	return a, nil
+}
+
+// Devices returns the number of devices.
+func (a *Array) Devices() int { return a.cfg.Devices }
+
+// StripeBytes returns the stripe unit in bytes.
+func (a *Array) StripeBytes() int64 { return a.unit }
+
+// Device exposes one member SSD (tests and diagnostics).
+func (a *Array) Device(i int) *ssd.SSD { return a.devs[i] }
+
+// Split deals a host trace across devices at the given stripe unit. Each
+// request maps to at most one sub-request per device: the stripes a device
+// owns within one host extent are consecutive in that device's address
+// space, so the per-device extent is contiguous. Sub-requests inherit the
+// host arrival time.
+func Split(tr *workload.Trace, devices int, unitBytes int64) []*workload.Trace {
+	out := make([]*workload.Trace, devices)
+	for d := range out {
+		out[d] = &workload.Trace{Name: fmt.Sprintf("%s@dev%d", tr.Name, d)}
+	}
+	if devices == 1 {
+		out[0].Requests = tr.Requests
+		return out
+	}
+	n := int64(devices)
+	for _, r := range tr.Requests {
+		s0 := r.Offset / unitBytes
+		s1 := (r.End() - 1) / unitBytes
+		for d := int64(0); d < n; d++ {
+			// First and last stripe of device d inside [s0, s1].
+			k0 := s0 + ((d-s0%n)+n)%n
+			if k0 > s1 {
+				continue
+			}
+			k1 := k0 + (s1-k0)/n*n
+			start := k0 / n * unitBytes
+			if k0 == s0 {
+				start += r.Offset - s0*unitBytes
+			}
+			end := k1/n*unitBytes + unitBytes
+			if k1 == s1 {
+				end = k1/n*unitBytes + (r.End() - s1*unitBytes)
+			}
+			out[d].Requests = append(out[d].Requests, workload.Request{
+				At: r.At, Offset: start, Size: int(end - start), Read: r.Read,
+			})
+		}
+	}
+	return out
+}
+
+// Results combines the array-level view with the per-device measurements.
+type Results struct {
+	// Combined is the merged array-level view. Request counts sum the
+	// per-device sub-requests (a host request striped over k devices
+	// counts k times); response-time means are weighted by those counts,
+	// and P99 is the worst device's P99 — both slightly optimistic for
+	// host-visible latency, since a striped host request only completes
+	// when its slowest sub-request does.
+	Combined ssd.Results
+	// PerDevice holds each member device's own measurements; devices a
+	// trace never touched report a zero value.
+	PerDevice []ssd.Results
+	// Devices and StripeKB echo the topology that produced the results.
+	Devices  int
+	StripeKB int
+}
+
+// Run splits the trace (and any preamble) across the devices, runs every
+// member concurrently — each on its own goroutine, each deterministic in
+// isolation — and merges the measurements. Like ssd.Run it may be called
+// once per array.
+func (a *Array) Run(tr *workload.Trace, opts ssd.RunOptions) (Results, error) {
+	if err := tr.Validate(); err != nil {
+		return Results{}, err
+	}
+	subs := Split(tr, a.cfg.Devices, a.unit)
+	var pres []*workload.Trace
+	if opts.Preamble != nil {
+		pres = Split(opts.Preamble, a.cfg.Devices, a.unit)
+	}
+	per := make([]ssd.Results, len(a.devs))
+	errs := make([]error, len(a.devs))
+	var wg sync.WaitGroup
+	for d := range a.devs {
+		if len(subs[d].Requests) == 0 {
+			per[d] = ssd.Results{Trace: subs[d].Name}
+			continue
+		}
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			o := opts
+			if pres != nil {
+				o.Preamble = pres[d]
+			}
+			res, err := a.devs[d].Run(subs[d], o)
+			if err != nil {
+				errs[d] = fmt.Errorf("array: device %d: %w", d, err)
+				return
+			}
+			per[d] = res
+		}(d)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return Results{}, err
+	}
+	return Results{
+		Combined:  Merge(tr.Name, per),
+		PerDevice: per,
+		Devices:   a.cfg.Devices,
+		StripeKB:  a.cfg.StripeKB,
+	}, nil
+}
+
+// Merge combines per-device results into one array-level ssd.Results (see
+// Results.Combined for the metric semantics). Counters and busy times sum;
+// spans take the slowest device; throughput is total bytes moved per second
+// of the longest device busy span.
+func Merge(name string, per []ssd.Results) ssd.Results {
+	c := ssd.Results{Trace: name}
+	var readW, writeW float64   // weighted response-time accumulators, ns
+	var bytesMB, readMB float64 // total host MB moved, from per-device rates
+	var utilDevs int
+	for _, r := range per {
+		c.ReadRequests += r.ReadRequests
+		c.WriteRequests += r.WriteRequests
+		readW += float64(r.MeanReadResponse) * float64(r.ReadRequests)
+		writeW += float64(r.MeanWriteResponse) * float64(r.WriteRequests)
+		if r.P99ReadResponse > c.P99ReadResponse {
+			c.P99ReadResponse = r.P99ReadResponse
+		}
+		if r.Makespan > c.Makespan {
+			c.Makespan = r.Makespan
+		}
+		if r.BusySpan > c.BusySpan {
+			c.BusySpan = r.BusySpan
+		}
+		bytesMB += r.ThroughputMBps * r.BusySpan.Seconds()
+		readMB += r.ReadMBps * r.BusySpan.Seconds()
+		c.UnmappedReads += r.UnmappedReads
+		c.FTL = c.FTL.Add(r.FTL)
+		c.Usage = c.Usage.Add(r.Usage)
+		c.PeakInUse += r.PeakInUse
+		c.PeakIDA += r.PeakIDA
+		c.GCBusy += r.GCBusy
+		c.RefreshBusy += r.RefreshBusy
+		c.Stages = c.Stages.Add(r.Stages)
+		c.Events += r.Events
+		if r.Events > 0 {
+			c.MeanDieUtilization += r.MeanDieUtilization
+			c.MeanChannelUtilization += r.MeanChannelUtilization
+			utilDevs++
+		}
+	}
+	if c.ReadRequests > 0 {
+		c.MeanReadResponse = time.Duration(readW / float64(c.ReadRequests))
+	}
+	if c.WriteRequests > 0 {
+		c.MeanWriteResponse = time.Duration(writeW / float64(c.WriteRequests))
+	}
+	if utilDevs > 0 {
+		c.MeanDieUtilization /= float64(utilDevs)
+		c.MeanChannelUtilization /= float64(utilDevs)
+	}
+	if secs := c.BusySpan.Seconds(); secs > 0 {
+		c.ThroughputMBps = bytesMB / secs
+		c.ReadMBps = readMB / secs
+	}
+	if hw := c.FTL.HostWrites; hw > 0 {
+		total := hw + c.FTL.GCMoves + c.FTL.RefreshMoves + c.FTL.IDACorruptedWrites
+		c.WriteAmplification = float64(total) / float64(hw)
+	}
+	return c
+}

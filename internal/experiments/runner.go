@@ -13,6 +13,8 @@
 package experiments
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -77,10 +79,21 @@ type pair struct {
 	sys     idaflash.System
 }
 
+// key encodes the full (Profile, System) pair so distinct configurations
+// can never collide in the cache. Both structs contain only exported
+// scalar fields, and encoding/json emits them in declaration order, so the
+// encoding is deterministic and lossless (an earlier hand-rolled key
+// truncated ErrorRate to a permille and silently omitted newer fields).
 func key(p workload.Profile, sys idaflash.System) string {
-	return fmt.Sprintf("%s|%s|%d|%v|%d|%v|%d|%v|%v", p.Name, sys.Name, p.Requests,
-		sys.DeltaTR, sys.BitsPerCell, sys.Lifetime, int(sys.ErrorRate*1000),
-		sys.OnlyInvalid, sys.FastAdjust) + fmt.Sprintf("|%v", sys.Vendor232)
+	b, err := json.Marshal(struct {
+		P workload.Profile
+		S idaflash.System
+	}{p, sys})
+	if err != nil {
+		// Both types are plain data; failure here is a programming error.
+		panic(fmt.Sprintf("experiments: encoding cache key: %v", err))
+	}
+	return string(b)
 }
 
 // Run executes (or recalls) one simulation.
@@ -107,8 +120,9 @@ func (r *Runner) Run(p workload.Profile, sys idaflash.System) (idaflash.Results,
 	return res, err
 }
 
-// RunAll warms the cache for all pairs concurrently and returns the first
-// error, if any.
+// RunAll warms the cache for all pairs concurrently. Every failing pair is
+// reported, joined with errors.Join, so one bad configuration cannot mask
+// the others.
 func (r *Runner) RunAll(pairs []pair) error {
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(pairs))
@@ -124,7 +138,11 @@ func (r *Runner) RunAll(pairs []pair) error {
 	}
 	wg.Wait()
 	close(errCh)
-	return <-errCh
+	errs := make([]error, 0, len(errCh))
+	for err := range errCh {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // profiles returns the 11 paper workloads at the configured request budget.

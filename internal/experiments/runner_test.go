@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"idaflash"
+	"idaflash/internal/workload"
+)
+
+func TestKeyDistinguishesConfigs(t *testing.T) {
+	p := workload.Profile{Name: "p", Requests: 1000}
+	base := idaflash.IDA(0.20)
+	cases := []struct {
+		label string
+		a, b  idaflash.System
+		pa    workload.Profile
+		pb    workload.Profile
+	}{
+		// Sub-permille error rates truncated to the same key before.
+		{label: "error-rate", a: func() idaflash.System { s := base; s.ErrorRate = 0.2001; return s }(),
+			b: func() idaflash.System { s := base; s.ErrorRate = 0.2002; return s }(), pa: p, pb: p},
+		// Fields omitted from the old hand-rolled key entirely.
+		{label: "tight-space", a: base, b: func() idaflash.System { s := base; s.TightSpace = true; return s }(), pa: p, pb: p},
+		{label: "scheduler", a: base, b: func() idaflash.System { s := base; s.Scheduler = idaflash.SchedFIFO; return s }(), pa: p, pb: p},
+		{label: "devices", a: base, b: func() idaflash.System { s := base; s.Devices = 4; return s }(), pa: p, pb: p},
+		{label: "stripe", a: func() idaflash.System { s := base; s.Devices = 4; return s }(),
+			b: func() idaflash.System { s := base; s.Devices = 4; s.StripeKB = 128; return s }(), pa: p, pb: p},
+		// Profile fields beyond Name/Requests.
+		{label: "zipf", a: base, b: base, pa: p,
+			pb: func() workload.Profile { q := p; q.ReadZipf = 0.9; return q }()},
+		{label: "footprint", a: base, b: base, pa: p,
+			pb: func() workload.Profile { q := p; q.FootprintMB = 64; return q }()},
+	}
+	for _, c := range cases {
+		if key(c.pa, c.a) == key(c.pb, c.b) {
+			t.Errorf("%s: distinct configs share a cache key", c.label)
+		}
+	}
+	// Identical inputs must still collide (that is the cache's point).
+	if key(p, base) != key(p, base) {
+		t.Error("identical configs produced different keys")
+	}
+}
+
+func TestRunAllReportsAllFailures(t *testing.T) {
+	r := NewRunner(Options{Requests: 100})
+	bad1 := workload.Profile{Name: "bad-one", ReadRatio: 2, MeanReadKB: 8, Requests: 100}
+	bad2 := workload.Profile{Name: "bad-two", ReadRatio: -1, MeanReadKB: 8, Requests: 100}
+	err := r.RunAll([]pair{
+		{profile: bad1, sys: idaflash.Baseline()},
+		{profile: bad2, sys: idaflash.Baseline()},
+	})
+	if err == nil {
+		t.Fatal("RunAll swallowed the failures")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "bad-one") || !strings.Contains(msg, "bad-two") {
+		t.Errorf("joined error missing a failure: %q", msg)
+	}
+}
+
+func TestRunAllNoErrorOnSuccess(t *testing.T) {
+	r := runner(t)
+	p, err := idaflash.ProfileByName("usr_1", r.Options().Requests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RunAll([]pair{{profile: p, sys: idaflash.Baseline()}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -36,6 +36,34 @@ type Stats struct {
 // Stats returns a snapshot of the counters.
 func (f *FTL) Stats() Stats { return f.stats }
 
+// Add returns the field-wise sum of two snapshots. Array drivers use it to
+// merge the per-device FTLs of a striped array into one device-level view.
+func (s Stats) Add(o Stats) Stats {
+	s.HostReads += o.HostReads
+	s.HostWrites += o.HostWrites
+	s.Invalidations += o.Invalidations
+	s.Erases += o.Erases
+	for i := range s.ReadsByClass {
+		s.ReadsByClass[i] += o.ReadsByClass[i]
+	}
+	for i := range s.ReadsBySenses {
+		s.ReadsBySenses[i] += o.ReadsBySenses[i]
+	}
+	s.ReadsFromIDA += o.ReadsFromIDA
+	s.GCJobs += o.GCJobs
+	s.GCMoves += o.GCMoves
+	s.GCIDAVictims += o.GCIDAVictims
+	s.Refreshes += o.Refreshes
+	s.RefreshValidPages += o.RefreshValidPages
+	s.RefreshMoves += o.RefreshMoves
+	s.IDARefreshes += o.IDARefreshes
+	s.IDAAdjustedWLs += o.IDAAdjustedWLs
+	s.IDAVerifyReads += o.IDAVerifyReads
+	s.IDACorruptedWrites += o.IDACorruptedWrites
+	s.IDAKeptPages += o.IDAKeptPages
+	return s
+}
+
 // ResetStats zeroes the counters. Simulation drivers call it after warmup
 // so measurements cover only the timed phase.
 func (f *FTL) ResetStats() { f.stats = Stats{} }
@@ -49,6 +77,18 @@ type BlockUsage struct {
 	InUse     int // programmed, holding at least one valid page
 	Empty     int // programmed but fully invalid (awaiting GC)
 	IDABlocks int // reprogrammed with the IDA coding, still in use
+}
+
+// Add returns the field-wise sum of two censuses, merging a striped array's
+// per-device block states into one array-level view.
+func (u BlockUsage) Add(o BlockUsage) BlockUsage {
+	u.Total += o.Total
+	u.Free += o.Free
+	u.Active += o.Active
+	u.InUse += o.InUse
+	u.Empty += o.Empty
+	u.IDABlocks += o.IDABlocks
+	return u
 }
 
 // Wear summarizes the erase-count distribution across all blocks, the

@@ -6,9 +6,9 @@ import (
 )
 
 // Priority orders service classes on a Resource. Lower values are served
-// first. The three classes model the paper's "read-first" scheduling: host
-// reads overtake host writes, and both overtake background work (garbage
-// collection and data refresh).
+// first under the default read-first policy. The three classes model the
+// paper's "read-first" scheduling: host reads overtake host writes, and both
+// overtake background work (garbage collection and data refresh).
 type Priority int
 
 // Service classes, highest priority first.
@@ -33,13 +33,6 @@ func (p Priority) String() string {
 	}
 }
 
-// waiter is one queued acquisition.
-type waiter struct {
-	hold     time.Duration
-	enqueued Time
-	then     func()
-}
-
 // ResourceStats aggregates the utilization of a resource.
 type ResourceStats struct {
 	BusyTime   time.Duration // total time the server was held
@@ -49,26 +42,41 @@ type ResourceStats struct {
 	LastIdleAt Time
 }
 
-// Resource is a single non-preemptive server with one FIFO queue per
-// priority class: a die (one flash command at a time) or a channel (one
-// transfer at a time). Acquisitions specify how long the server is held;
-// when the hold expires, the completion callback runs and the next waiter
-// (highest priority class first, FIFO within a class) is served.
+// Resource is a single non-preemptive server: a die (one flash command at a
+// time) or a channel (one transfer at a time). Acquisitions specify how long
+// the server is held; when the hold expires, the completion callback runs
+// and the scheduler picks the next waiter. Which waiter that is depends on
+// the scheduling policy — read-first by default, see Scheduler.
 type Resource struct {
 	name   string
 	engine *Engine
 	busy   bool
-	queues [numPriorities][]waiter
+	sched  Scheduler
+	seq    uint64
 	stats  ResourceStats
 }
 
-// NewResource creates a resource bound to the engine.
+// NewResource creates a resource bound to the engine with the default
+// read-first scheduler.
 func NewResource(e *Engine, name string) *Resource {
-	return &Resource{name: name, engine: e}
+	return NewResourceScheduled(e, name, nil)
+}
+
+// NewResourceScheduled creates a resource served by the given scheduler.
+// The scheduler must be exclusive to this resource (it holds the queue
+// state); nil gets a fresh read-first scheduler.
+func NewResourceScheduled(e *Engine, name string, sched Scheduler) *Resource {
+	if sched == nil {
+		sched = &readFirstScheduler{}
+	}
+	return &Resource{name: name, engine: e, sched: sched}
 }
 
 // Name returns the resource's diagnostic name.
 func (r *Resource) Name() string { return r.name }
+
+// Policy names the scheduling discipline serving this resource.
+func (r *Resource) Policy() Policy { return r.sched.Policy() }
 
 // Stats returns a snapshot of the accumulated statistics.
 func (r *Resource) Stats() ResourceStats { return r.stats }
@@ -77,13 +85,7 @@ func (r *Resource) Stats() ResourceStats { return r.stats }
 func (r *Resource) Busy() bool { return r.busy }
 
 // QueueLen returns the number of waiters across all priority classes.
-func (r *Resource) QueueLen() int {
-	n := 0
-	for _, q := range r.queues {
-		n += len(q)
-	}
-	return n
-}
+func (r *Resource) QueueLen() int { return r.sched.Len() }
 
 // Acquire requests the server for hold duration at priority p. When service
 // completes, then (which may be nil) runs at the completion instant. Holds
@@ -96,22 +98,23 @@ func (r *Resource) Acquire(p Priority, hold time.Duration, then func()) {
 	if hold < 0 {
 		panic(fmt.Sprintf("sim: resource %s acquire with negative hold %v", r.name, hold))
 	}
-	w := waiter{hold: hold, enqueued: r.engine.Now(), then: then}
+	r.seq++
+	w := Waiter{Prio: p, Enqueued: r.engine.Now(), seq: r.seq, hold: hold, then: then}
 	if r.busy {
-		r.queues[p] = append(r.queues[p], w)
-		if q := r.QueueLen(); q > r.stats.MaxQueue {
+		r.sched.Push(w)
+		if q := r.sched.Len(); q > r.stats.MaxQueue {
 			r.stats.MaxQueue = q
 		}
 		return
 	}
-	r.serve(p, w)
+	r.serve(w)
 }
 
 // serve starts service of w immediately.
-func (r *Resource) serve(p Priority, w waiter) {
+func (r *Resource) serve(w Waiter) {
 	r.busy = true
-	r.stats.Grants[p]++
-	r.stats.WaitTime[p] += r.engine.Now() - w.enqueued
+	r.stats.Grants[w.Prio]++
+	r.stats.WaitTime[w.Prio] += r.engine.Now() - w.Enqueued
 	r.stats.BusyTime += w.hold
 	r.engine.After(w.hold, func() {
 		// Run the completion callback while the server is still
@@ -127,18 +130,10 @@ func (r *Resource) serve(p Priority, w waiter) {
 	})
 }
 
-// next dispatches the highest-priority waiter, if any.
+// next asks the scheduler for the waiter to dispatch, if any.
 func (r *Resource) next() {
-	for p := Priority(0); p < numPriorities; p++ {
-		if len(r.queues[p]) > 0 {
-			w := r.queues[p][0]
-			// Shift rather than reslice forever; these queues stay
-			// short, and copying keeps memory bounded.
-			copy(r.queues[p], r.queues[p][1:])
-			r.queues[p] = r.queues[p][:len(r.queues[p])-1]
-			r.serve(p, w)
-			return
-		}
+	if w, ok := r.sched.Pop(r.engine.Now()); ok {
+		r.serve(w)
 	}
 }
 

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Policy names a resource scheduling discipline. The zero value selects
+// read-first, the paper's policy.
+type Policy string
+
+// Built-in policies.
+const (
+	// PolicyReadFirst serves the highest priority class first and FIFO
+	// within a class: host reads overtake host writes, both overtake
+	// background work. This is the paper's discipline and the default.
+	PolicyReadFirst Policy = "read-first"
+	// PolicyFIFO serves strictly in arrival order, ignoring class.
+	PolicyFIFO Policy = "fifo"
+	// PolicyAgeAware behaves like read-first but promotes a lower-class
+	// waiter once it has aged past a bound, so reads cannot starve writes
+	// (or background work) indefinitely while writes still cannot make a
+	// read wait behind a whole burst of them.
+	PolicyAgeAware Policy = "age-aware"
+)
+
+// ParsePolicy validates a policy name; the empty string means read-first.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case "", PolicyReadFirst:
+		return PolicyReadFirst, nil
+	case PolicyFIFO:
+		return PolicyFIFO, nil
+	case PolicyAgeAware:
+		return PolicyAgeAware, nil
+	}
+	return "", fmt.Errorf("sim: unknown scheduling policy %q (want %q, %q or %q)",
+		s, PolicyReadFirst, PolicyFIFO, PolicyAgeAware)
+}
+
+// Policies lists the built-in policy names.
+func Policies() []Policy {
+	return []Policy{PolicyReadFirst, PolicyFIFO, PolicyAgeAware}
+}
+
+// Waiter is one queued acquisition as a Scheduler sees it: the service
+// class, the enqueue instant, and an opaque payload the Resource round-trips
+// (the hold duration and completion callback).
+type Waiter struct {
+	Prio     Priority
+	Enqueued Time
+	seq      uint64
+	hold     time.Duration
+	then     func()
+}
+
+// Scheduler orders the waiters of one Resource. Implementations are
+// per-resource and single-goroutine, like the engine itself; they must be
+// deterministic (no map iteration, no wall-clock reads) so simulations stay
+// bit-for-bit reproducible.
+type Scheduler interface {
+	// Push enqueues a waiter that could not be served immediately.
+	Push(w Waiter)
+	// Pop removes and returns the waiter to serve next at instant now.
+	// ok is false when no waiter is queued.
+	Pop(now Time) (w Waiter, ok bool)
+	// Len returns the number of queued waiters.
+	Len() int
+	// Policy names the discipline, for diagnostics.
+	Policy() Policy
+}
+
+// SchedulerConfig selects and parameterizes a policy.
+type SchedulerConfig struct {
+	// Policy is the discipline; empty means read-first.
+	Policy Policy
+	// MaxWait bounds lower-class queueing delay under the age-aware
+	// policy: once the oldest non-read waiter has waited this long it is
+	// served before any read. Zero defaults to 10 ms (a few program
+	// latencies). Ignored by the other policies.
+	MaxWait time.Duration
+}
+
+// DefaultAgeAwareMaxWait is the starvation bound used when
+// SchedulerConfig.MaxWait is zero: about four page programs.
+const DefaultAgeAwareMaxWait = 10 * time.Millisecond
+
+// Validate checks the config.
+func (c SchedulerConfig) Validate() error {
+	if _, err := ParsePolicy(string(c.Policy)); err != nil {
+		return err
+	}
+	if c.MaxWait < 0 {
+		return fmt.Errorf("sim: scheduler MaxWait %v must be non-negative", c.MaxWait)
+	}
+	return nil
+}
+
+// New builds a fresh scheduler instance. Each Resource needs its own
+// instance, since schedulers hold the queue state. Unknown policies panic;
+// call Validate first when the name comes from user input.
+func (c SchedulerConfig) New() Scheduler {
+	p, err := ParsePolicy(string(c.Policy))
+	if err != nil {
+		panic(err.Error())
+	}
+	switch p {
+	case PolicyFIFO:
+		return &fifoScheduler{}
+	case PolicyAgeAware:
+		maxWait := c.MaxWait
+		if maxWait == 0 {
+			maxWait = DefaultAgeAwareMaxWait
+		}
+		return &ageAwareScheduler{maxWait: maxWait}
+	default:
+		return &readFirstScheduler{}
+	}
+}
+
+// readFirstScheduler keeps one FIFO queue per priority class and always
+// serves the highest non-empty class, reproducing the original hard-wired
+// discipline bit for bit.
+type readFirstScheduler struct {
+	queues [numPriorities][]Waiter
+}
+
+func (s *readFirstScheduler) Policy() Policy { return PolicyReadFirst }
+
+func (s *readFirstScheduler) Push(w Waiter) {
+	s.queues[w.Prio] = append(s.queues[w.Prio], w)
+}
+
+func (s *readFirstScheduler) Pop(Time) (Waiter, bool) {
+	for p := Priority(0); p < numPriorities; p++ {
+		if len(s.queues[p]) > 0 {
+			return popFront(&s.queues[p]), true
+		}
+	}
+	return Waiter{}, false
+}
+
+func (s *readFirstScheduler) Len() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// fifoScheduler serves strictly in arrival order.
+type fifoScheduler struct {
+	queue []Waiter
+}
+
+func (s *fifoScheduler) Policy() Policy { return PolicyFIFO }
+func (s *fifoScheduler) Push(w Waiter)  { s.queue = append(s.queue, w) }
+func (s *fifoScheduler) Len() int       { return len(s.queue) }
+
+func (s *fifoScheduler) Pop(Time) (Waiter, bool) {
+	if len(s.queue) == 0 {
+		return Waiter{}, false
+	}
+	return popFront(&s.queue), true
+}
+
+// ageAwareScheduler is read-first with a starvation bound: when the oldest
+// waiter of a lower class (host write or background) has been queued longer
+// than maxWait, that waiter is served before any read. Among over-age
+// waiters the oldest wins, ties going to the higher class, which keeps the
+// pick deterministic.
+type ageAwareScheduler struct {
+	queues  [numPriorities][]Waiter
+	maxWait time.Duration
+}
+
+func (s *ageAwareScheduler) Policy() Policy { return PolicyAgeAware }
+
+func (s *ageAwareScheduler) Push(w Waiter) {
+	s.queues[w.Prio] = append(s.queues[w.Prio], w)
+}
+
+func (s *ageAwareScheduler) Pop(now Time) (Waiter, bool) {
+	// Heads of each class queue are the oldest of their class; an aged
+	// head preempts the read-first order.
+	aged := Priority(-1)
+	for p := PrioHostWrite; p < numPriorities; p++ {
+		if len(s.queues[p]) == 0 {
+			continue
+		}
+		head := s.queues[p][0]
+		if now-head.Enqueued < s.maxWait {
+			continue
+		}
+		if aged < 0 || head.Enqueued < s.queues[aged][0].Enqueued {
+			aged = p
+		}
+	}
+	if aged >= 0 {
+		return popFront(&s.queues[aged]), true
+	}
+	for p := Priority(0); p < numPriorities; p++ {
+		if len(s.queues[p]) > 0 {
+			return popFront(&s.queues[p]), true
+		}
+	}
+	return Waiter{}, false
+}
+
+func (s *ageAwareScheduler) Len() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// popFront removes and returns the first waiter, shifting rather than
+// reslicing forever: these queues stay short, and copying keeps memory
+// bounded.
+func popFront(q *[]Waiter) Waiter {
+	w := (*q)[0]
+	copy(*q, (*q)[1:])
+	*q = (*q)[:len(*q)-1]
+	return w
+}

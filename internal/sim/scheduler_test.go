@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParsePolicy(t *testing.T) {
+	for _, s := range []string{"", "read-first", "fifo", "age-aware"} {
+		if _, err := ParsePolicy(s); err != nil {
+			t.Errorf("ParsePolicy(%q): %v", s, err)
+		}
+	}
+	if _, err := ParsePolicy("round-robin"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := (SchedulerConfig{MaxWait: -time.Second}).Validate(); err == nil {
+		t.Error("negative MaxWait accepted")
+	}
+	if err := (SchedulerConfig{Policy: "bogus"}).Validate(); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+// order runs one resource under the scheduler and returns the order in which
+// queued acquisitions were served. The resource is first occupied by a
+// long-running hold so every later Acquire queues.
+func order(t *testing.T, sched Scheduler, submit func(r *Resource, record func(id string) func())) []string {
+	t.Helper()
+	e := NewEngine()
+	r := NewResourceScheduled(e, "srv", sched)
+	var got []string
+	record := func(id string) func() {
+		return func() { got = append(got, id) }
+	}
+	e.At(0, func() {
+		r.Acquire(PrioBackground, time.Millisecond, nil) // occupy the server
+		submit(r, record)
+	})
+	e.Run()
+	return got
+}
+
+func TestReadFirstOrdersClasses(t *testing.T) {
+	got := order(t, SchedulerConfig{}.New(), func(r *Resource, rec func(string) func()) {
+		r.Acquire(PrioBackground, time.Microsecond, rec("bg"))
+		r.Acquire(PrioHostWrite, time.Microsecond, rec("w1"))
+		r.Acquire(PrioHostRead, time.Microsecond, rec("r1"))
+		r.Acquire(PrioHostWrite, time.Microsecond, rec("w2"))
+		r.Acquire(PrioHostRead, time.Microsecond, rec("r2"))
+	})
+	want := []string{"r1", "r2", "w1", "w2", "bg"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("read-first order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOKeepsArrivalOrder(t *testing.T) {
+	got := order(t, SchedulerConfig{Policy: PolicyFIFO}.New(), func(r *Resource, rec func(string) func()) {
+		r.Acquire(PrioBackground, time.Microsecond, rec("bg"))
+		r.Acquire(PrioHostWrite, time.Microsecond, rec("w1"))
+		r.Acquire(PrioHostRead, time.Microsecond, rec("r1"))
+		r.Acquire(PrioHostWrite, time.Microsecond, rec("w2"))
+	})
+	want := []string{"bg", "w1", "r1", "w2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fifo order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAgeAwarePromotesStarvedWrite(t *testing.T) {
+	// The server is held for 1 ms; a write queues at t=0, reads keep
+	// arriving. With MaxWait 500 us the write is over age when the first
+	// hold expires, so it is served before the queued reads.
+	sched := SchedulerConfig{Policy: PolicyAgeAware, MaxWait: 500 * time.Microsecond}.New()
+	got := order(t, sched, func(r *Resource, rec func(string) func()) {
+		r.Acquire(PrioHostWrite, time.Microsecond, rec("w1"))
+		r.Acquire(PrioHostRead, time.Microsecond, rec("r1"))
+		r.Acquire(PrioHostRead, time.Microsecond, rec("r2"))
+	})
+	want := []string{"w1", "r1", "r2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("age-aware order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAgeAwareFreshWritesStillYieldToReads(t *testing.T) {
+	// With a large MaxWait nothing is over age, so the discipline matches
+	// read-first exactly.
+	sched := SchedulerConfig{Policy: PolicyAgeAware, MaxWait: time.Hour}.New()
+	got := order(t, sched, func(r *Resource, rec func(string) func()) {
+		r.Acquire(PrioHostWrite, time.Microsecond, rec("w1"))
+		r.Acquire(PrioHostRead, time.Microsecond, rec("r1"))
+		r.Acquire(PrioBackground, time.Microsecond, rec("bg"))
+		r.Acquire(PrioHostRead, time.Microsecond, rec("r2"))
+	})
+	want := []string{"r1", "r2", "w1", "bg"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("age-aware (fresh) order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAgeAwareOldestAgedWinsAcrossClasses(t *testing.T) {
+	// A background waiter older than an aged write is served first; ties
+	// go to the higher class. Holds are long enough that both are over
+	// age at the first dispatch.
+	e := NewEngine()
+	sched := SchedulerConfig{Policy: PolicyAgeAware, MaxWait: time.Microsecond}.New()
+	r := NewResourceScheduled(e, "srv", sched)
+	var got []string
+	rec := func(id string) func() { return func() { got = append(got, id) } }
+	e.At(0, func() {
+		r.Acquire(PrioHostRead, time.Millisecond, nil) // occupy
+		r.Acquire(PrioBackground, time.Microsecond, rec("bg"))
+	})
+	e.At(500*time.Microsecond, func() {
+		r.Acquire(PrioHostWrite, time.Microsecond, rec("w"))
+		r.Acquire(PrioHostRead, time.Microsecond, rec("r"))
+	})
+	e.Run()
+	want := []string{"bg", "w", "r"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulerLenAndPolicyNames(t *testing.T) {
+	for _, cfg := range []SchedulerConfig{{}, {Policy: PolicyFIFO}, {Policy: PolicyAgeAware}} {
+		s := cfg.New()
+		if s.Len() != 0 {
+			t.Errorf("%s: fresh Len = %d", s.Policy(), s.Len())
+		}
+		s.Push(Waiter{Prio: PrioHostRead})
+		s.Push(Waiter{Prio: PrioHostWrite})
+		if s.Len() != 2 {
+			t.Errorf("%s: Len = %d, want 2", s.Policy(), s.Len())
+		}
+		if _, ok := s.Pop(0); !ok {
+			t.Errorf("%s: Pop failed", s.Policy())
+		}
+		if s.Len() != 1 {
+			t.Errorf("%s: Len after pop = %d, want 1", s.Policy(), s.Len())
+		}
+	}
+	found := map[Policy]bool{}
+	for _, p := range Policies() {
+		found[p] = true
+	}
+	if !found[PolicyReadFirst] || !found[PolicyFIFO] || !found[PolicyAgeAware] {
+		t.Errorf("Policies() = %v incomplete", Policies())
+	}
+}

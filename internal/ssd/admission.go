@@ -1,0 +1,108 @@
+package ssd
+
+import (
+	"time"
+
+	"idaflash/internal/sim"
+	"idaflash/internal/workload"
+)
+
+// The request path through the device is a pipeline of named stages:
+//
+//	admission (host queue) -> scheduler (per-die/channel arbitration)
+//	  -> FTL dispatch (dispatch.go) -> flash command issue (flashio.go)
+//
+// Each stage owns its state and statistics so it can be tested and
+// instrumented on its own. This file is the first stage: host-side
+// admission against the submission-queue depth.
+
+// StageStats bundles the per-stage instrumentation for Results.
+type StageStats struct {
+	Admission AdmissionStats
+	Dispatch  DispatchStats
+	Flash     FlashStats
+}
+
+// Add returns the field-wise sum of two stage snapshots (array merging).
+func (s StageStats) Add(o StageStats) StageStats {
+	s.Admission.Admitted += o.Admission.Admitted
+	s.Admission.HostQueued += o.Admission.HostQueued
+	s.Admission.HostQueueWait += o.Admission.HostQueueWait
+	if o.Admission.MaxHostQueue > s.Admission.MaxHostQueue {
+		s.Admission.MaxHostQueue = o.Admission.MaxHostQueue
+	}
+	s.Dispatch.ReadPages += o.Dispatch.ReadPages
+	s.Dispatch.WritePages += o.Dispatch.WritePages
+	s.Dispatch.UnmappedPages += o.Dispatch.UnmappedPages
+	s.Flash.ReadCommands += o.Flash.ReadCommands
+	s.Flash.RetryRounds += o.Flash.RetryRounds
+	s.Flash.ProgramCommands += o.Flash.ProgramCommands
+	return s
+}
+
+// queuedRequest is a host request waiting for a submission-queue slot.
+type queuedRequest struct {
+	r       workload.Request
+	arrived sim.Time
+}
+
+// AdmissionStats instruments the admission stage.
+type AdmissionStats struct {
+	// Admitted counts requests that entered service (immediately or
+	// after host-side queueing).
+	Admitted uint64
+	// HostQueued counts requests that had to wait host-side for a
+	// submission-queue slot.
+	HostQueued uint64
+	// HostQueueWait is the total host-side queueing delay across all
+	// admitted requests; it is part of their response time.
+	HostQueueWait time.Duration
+	// MaxHostQueue is the deepest the host-side queue ever got.
+	MaxHostQueue int
+}
+
+// admission is the host-queue stage: it caps concurrently-serviced requests
+// at the submission-queue depth and parks overflow in an arrival-ordered
+// FIFO. It is pure bookkeeping — no engine dependency — so it is testable in
+// isolation.
+type admission struct {
+	maxDepth int // 0 means unlimited
+	inFlight int
+	queue    []queuedRequest
+	stats    AdmissionStats
+}
+
+// hasSlot reports whether a new request may enter service now.
+func (a *admission) hasSlot() bool {
+	return a.maxDepth == 0 || a.inFlight < a.maxDepth
+}
+
+// park queues a request host-side until a slot frees up.
+func (a *admission) park(r workload.Request, arrived sim.Time) {
+	a.queue = append(a.queue, queuedRequest{r: r, arrived: arrived})
+	a.stats.HostQueued++
+	if len(a.queue) > a.stats.MaxHostQueue {
+		a.stats.MaxHostQueue = len(a.queue)
+	}
+}
+
+// admit accounts a request entering service at instant now; arrived is its
+// original arrival (which may predate now if it was parked).
+func (a *admission) admit(arrived, now sim.Time) {
+	a.inFlight++
+	a.stats.Admitted++
+	a.stats.HostQueueWait += now - arrived
+}
+
+// release frees the slot of a completed request and returns the next parked
+// request, if one can start.
+func (a *admission) release() (next queuedRequest, ok bool) {
+	a.inFlight--
+	if len(a.queue) == 0 || !a.hasSlot() {
+		return queuedRequest{}, false
+	}
+	next = a.queue[0]
+	copy(a.queue, a.queue[1:])
+	a.queue = a.queue[:len(a.queue)-1]
+	return next, true
+}

@@ -1,0 +1,55 @@
+package ssd
+
+import (
+	"idaflash/internal/ftl"
+	"idaflash/internal/sim"
+	"idaflash/internal/workload"
+)
+
+// FTL dispatch stage: an admitted host request is translated into per-page
+// flash operations. The stage splits the byte extent into logical pages,
+// consults the FTL for each, and hands the resulting flash commands to the
+// issue stage (flashio.go). Writes additionally trigger garbage collection
+// when they drain free blocks below the watermark.
+
+// DispatchStats instruments the FTL dispatch stage.
+type DispatchStats struct {
+	// ReadPages and WritePages count the logical pages dispatched.
+	ReadPages  uint64
+	WritePages uint64
+	// UnmappedPages counts read pages that had no mapping (reads of
+	// never-written data).
+	UnmappedPages uint64
+}
+
+// lpnRange converts a byte extent to the logical pages it covers.
+func (s *SSD) lpnRange(offset int64, size int) (first, count ftl.LPN) {
+	first = ftl.LPN(offset / int64(s.pageSize))
+	last := ftl.LPN((offset + int64(size) - 1) / int64(s.pageSize))
+	return first, last - first + 1
+}
+
+// startRequest begins servicing a host request; arrived is its original
+// arrival time (which may predate now if it waited in the host queue).
+func (s *SSD) startRequest(r workload.Request, arrived sim.Time) {
+	now := s.engine.Now()
+	first, count := s.lpnRange(r.Offset, r.Size)
+	req := &request{arrived: arrived, pages: int(count), read: r.Read, size: r.Size}
+	if s.adm.inFlight == 0 {
+		s.busyStart = now
+	}
+	s.adm.admit(arrived, now)
+	for i := ftl.LPN(0); i < count; i++ {
+		if r.Read {
+			s.dispatchStats.ReadPages++
+			s.readPage(first+i, req)
+		} else {
+			s.dispatchStats.WritePages++
+			s.writePage(first+i, req)
+		}
+	}
+	if !r.Read {
+		// Writes may have drained free blocks below the watermark.
+		s.runGC()
+	}
+}

@@ -1,0 +1,113 @@
+package ssd
+
+import (
+	"time"
+
+	"idaflash/internal/ftl"
+	"idaflash/internal/sim"
+)
+
+// Flash command issue stage: dispatched page operations become timed
+// acquisitions of the die and channel resources. Which queued command a
+// busy die or channel serves next is the scheduler's decision
+// (sim.Scheduler); this stage only issues and chains the commands.
+
+// FlashStats instruments the flash command issue stage.
+type FlashStats struct {
+	// ReadCommands counts sensing+transfer rounds issued for host reads,
+	// including retry rounds.
+	ReadCommands uint64
+	// RetryRounds counts the subset of ReadCommands that were read
+	// retries after a failed hard decode.
+	RetryRounds uint64
+	// ProgramCommands counts host page programs issued.
+	ProgramCommands uint64
+}
+
+// readPage services one logical page read: memory access on the die (with
+// the sensing count the wordline's current coding dictates), transfer on
+// the channel, ECC decode, plus any read-retry rounds.
+func (s *SSD) readPage(lpn ftl.LPN, req *request) {
+	info, ok := s.f.Read(lpn)
+	if !ok {
+		// Reads of never-written data are served like a fastest-page
+		// read (the controller returns zeroes after a mapping miss;
+		// we charge a conservative full page read).
+		s.unmapped++
+		s.dispatchStats.UnmappedPages++
+		s.engine.After(s.cfg.Timing.ReadLatency(1)+s.cfg.Timing.Transfer+s.cfg.ECC.DecodeLatency, func() {
+			s.pageDone(req)
+		})
+		return
+	}
+	params := s.cfg.ECC
+	if info.IDA {
+		// Merged wordlines occupy half the voltage states, widening
+		// the read margins and cutting the raw bit error rate; their
+		// hard decodes fail far less often.
+		params = params.WithFailScale(idaRetryFailScale)
+	}
+	retries := params.SampleRetries(s.rng)
+	s.readRound(info, req, retries, true)
+}
+
+// idaRetryFailScale scales the hard-decode failure probability for pages on
+// IDA-reprogrammed wordlines: doubling the inter-state margin cuts RBER
+// superlinearly (Cai et al. characterize roughly an order of magnitude per
+// doubled margin; 0.25 is conservative).
+const idaRetryFailScale = 0.25
+
+// readRound performs one sensing+transfer+decode round; failed decodes
+// trigger retry rounds that re-sense the wordline's read levels with
+// adjusted voltages (Section V-F): a retry costs one extra pass over the
+// page's read voltages plus a soft-bit transfer, so pages with fewer read
+// levels — IDA-reprogrammed wordlines — also retry more cheaply.
+//
+// Following the DiskSim+SSD model the paper builds on, the channel is
+// occupied for the whole memory access plus the data transfer (command
+// issue, busy polling, data out — there is no cache-read pipelining), which
+// is what couples queueing delay to the sensing count and lets a sensing
+// reduction translate into response-time gains under load. The read first
+// waits for its die to go idle (it cannot sense a die that is mid-program
+// or mid-erase) without holding it.
+func (s *SSD) readRound(info ftl.ReadInfo, req *request, retriesLeft int, first bool) {
+	die := s.dieOf(info.Addr)
+	ch := s.channelOf(info.Addr)
+	var hold time.Duration
+	if first {
+		hold = s.cfg.Timing.ReadLatency(info.Senses) + s.cfg.Timing.Transfer
+	} else {
+		hold = s.cfg.Timing.ExtraSenseLatency(info.Senses) + s.cfg.Timing.Transfer/2
+		s.flashStats.RetryRounds++
+	}
+	s.flashStats.ReadCommands++
+	die.Acquire(sim.PrioHostRead, 0, func() {
+		ch.Acquire(sim.PrioHostRead, hold, func() {
+			s.engine.After(s.cfg.ECC.DecodeLatency, func() {
+				if retriesLeft > 0 {
+					s.readRound(info, req, retriesLeft-1, false)
+					return
+				}
+				s.pageDone(req)
+			})
+		})
+	})
+}
+
+// writePage services one logical page write: transfer to the chip on the
+// channel, then the program on the die.
+func (s *SSD) writePage(lpn ftl.LPN, req *request) {
+	prog, err := s.f.Write(lpn, s.engine.Now())
+	if err != nil {
+		// Out of space mid-run: surface loudly, this is a sizing bug.
+		panic("ssd: " + err.Error())
+	}
+	s.flashStats.ProgramCommands++
+	die := s.dieOf(prog.Addr)
+	ch := s.channelOf(prog.Addr)
+	ch.Acquire(sim.PrioHostWrite, s.cfg.Timing.Transfer, func() {
+		die.Acquire(sim.PrioHostWrite, s.cfg.Timing.Program, func() {
+			s.pageDone(req)
+		})
+	})
+}

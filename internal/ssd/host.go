@@ -1,12 +1,14 @@
 package ssd
 
 import (
-	"time"
-
-	"idaflash/internal/ftl"
 	"idaflash/internal/sim"
 	"idaflash/internal/workload"
 )
+
+// This file wires the stage pipeline together for one host request: submit
+// runs the admission stage (admission.go), admitted requests go to the FTL
+// dispatch stage (dispatch.go), and pageDone closes the loop — response
+// accounting and submission-queue slot release.
 
 // request tracks one in-flight host request.
 type request struct {
@@ -16,50 +18,15 @@ type request struct {
 	size    int
 }
 
-// lpnRange converts a byte extent to the logical pages it covers.
-func (s *SSD) lpnRange(offset int64, size int) (first, count ftl.LPN) {
-	first = ftl.LPN(offset / int64(s.pageSize))
-	last := ftl.LPN((offset + int64(size) - 1) / int64(s.pageSize))
-	return first, last - first + 1
-}
-
-// queuedRequest is a host request waiting for a submission-queue slot.
-type queuedRequest struct {
-	r       workload.Request
-	arrived sim.Time
-}
-
 // submit admits a newly-arrived host request, queueing it host-side when
 // the submission queue is full.
 func (s *SSD) submit(r workload.Request) {
 	now := s.engine.Now()
-	if s.cfg.MaxQueueDepth > 0 && s.inFlight >= s.cfg.MaxQueueDepth {
-		s.hostQueue = append(s.hostQueue, queuedRequest{r: r, arrived: now})
+	if !s.adm.hasSlot() {
+		s.adm.park(r, now)
 		return
 	}
-	s.start(r, now)
-}
-
-// start begins servicing a host request; arrived is its original arrival
-// time (which may predate now if it waited in the host queue).
-func (s *SSD) start(r workload.Request, arrived sim.Time) {
-	first, count := s.lpnRange(r.Offset, r.Size)
-	req := &request{arrived: arrived, pages: int(count), read: r.Read, size: r.Size}
-	if s.inFlight == 0 {
-		s.busyStart = s.engine.Now()
-	}
-	s.inFlight++
-	for i := ftl.LPN(0); i < count; i++ {
-		if r.Read {
-			s.readPage(first+i, req)
-		} else {
-			s.writePage(first+i, req)
-		}
-	}
-	if !r.Read {
-		// Writes may have drained free blocks below the watermark.
-		s.runGC()
-	}
+	s.startRequest(r, now)
 }
 
 // pageDone accounts one finished page of the request and completes it when
@@ -70,11 +37,6 @@ func (s *SSD) pageDone(req *request) {
 		return
 	}
 	now := s.engine.Now()
-	s.inFlight--
-	if s.inFlight == 0 {
-		s.busySpan += now - s.busyStart
-	}
-	s.lastHostDone = now
 	lat := now - req.arrived
 	if req.read {
 		s.readResp.Add(lat)
@@ -85,95 +47,15 @@ func (s *SSD) pageDone(req *request) {
 		s.writeBytes += uint64(req.size)
 		s.writeReqs++
 	}
-	// A completed request frees a submission-queue slot.
-	if len(s.hostQueue) > 0 && (s.cfg.MaxQueueDepth == 0 || s.inFlight < s.cfg.MaxQueueDepth) {
-		next := s.hostQueue[0]
-		copy(s.hostQueue, s.hostQueue[1:])
-		s.hostQueue = s.hostQueue[:len(s.hostQueue)-1]
-		s.start(next.r, next.arrived)
+	s.lastHostDone = now
+	// A completed request frees a submission-queue slot; the oldest
+	// parked request (if any) enters service with its original arrival
+	// time, so host-side waiting counts toward its response.
+	next, ok := s.adm.release()
+	if s.adm.inFlight == 0 {
+		s.busySpan += now - s.busyStart
 	}
-}
-
-// readPage services one logical page read: memory access on the die (with
-// the sensing count the wordline's current coding dictates), transfer on
-// the channel, ECC decode, plus any read-retry rounds.
-func (s *SSD) readPage(lpn ftl.LPN, req *request) {
-	info, ok := s.f.Read(lpn)
-	if !ok {
-		// Reads of never-written data are served like a fastest-page
-		// read (the controller returns zeroes after a mapping miss;
-		// we charge a conservative full page read).
-		s.unmapped++
-		s.engine.After(s.cfg.Timing.ReadLatency(1)+s.cfg.Timing.Transfer+s.cfg.ECC.DecodeLatency, func() {
-			s.pageDone(req)
-		})
-		return
+	if ok {
+		s.startRequest(next.r, next.arrived)
 	}
-	params := s.cfg.ECC
-	if info.IDA {
-		// Merged wordlines occupy half the voltage states, widening
-		// the read margins and cutting the raw bit error rate; their
-		// hard decodes fail far less often.
-		params = params.WithFailScale(idaRetryFailScale)
-	}
-	retries := params.SampleRetries(s.rng)
-	s.readRound(info, req, retries, true)
-}
-
-// idaRetryFailScale scales the hard-decode failure probability for pages on
-// IDA-reprogrammed wordlines: doubling the inter-state margin cuts RBER
-// superlinearly (Cai et al. characterize roughly an order of magnitude per
-// doubled margin; 0.25 is conservative).
-const idaRetryFailScale = 0.25
-
-// readRound performs one sensing+transfer+decode round; failed decodes
-// trigger retry rounds that re-sense the wordline's read levels with
-// adjusted voltages (Section V-F): a retry costs one extra pass over the
-// page's read voltages plus a soft-bit transfer, so pages with fewer read
-// levels — IDA-reprogrammed wordlines — also retry more cheaply.
-//
-// Following the DiskSim+SSD model the paper builds on, the channel is
-// occupied for the whole memory access plus the data transfer (command
-// issue, busy polling, data out — there is no cache-read pipelining), which
-// is what couples queueing delay to the sensing count and lets a sensing
-// reduction translate into response-time gains under load. The read first
-// waits for its die to go idle (it cannot sense a die that is mid-program
-// or mid-erase) without holding it.
-func (s *SSD) readRound(info ftl.ReadInfo, req *request, retriesLeft int, first bool) {
-	die := s.dieOf(info.Addr)
-	ch := s.channelOf(info.Addr)
-	var hold time.Duration
-	if first {
-		hold = s.cfg.Timing.ReadLatency(info.Senses) + s.cfg.Timing.Transfer
-	} else {
-		hold = s.cfg.Timing.ExtraSenseLatency(info.Senses) + s.cfg.Timing.Transfer/2
-	}
-	die.Acquire(sim.PrioHostRead, 0, func() {
-		ch.Acquire(sim.PrioHostRead, hold, func() {
-			s.engine.After(s.cfg.ECC.DecodeLatency, func() {
-				if retriesLeft > 0 {
-					s.readRound(info, req, retriesLeft-1, false)
-					return
-				}
-				s.pageDone(req)
-			})
-		})
-	})
-}
-
-// writePage services one logical page write: transfer to the chip on the
-// channel, then the program on the die.
-func (s *SSD) writePage(lpn ftl.LPN, req *request) {
-	prog, err := s.f.Write(lpn, s.engine.Now())
-	if err != nil {
-		// Out of space mid-run: surface loudly, this is a sizing bug.
-		panic("ssd: " + err.Error())
-	}
-	die := s.dieOf(prog.Addr)
-	ch := s.channelOf(prog.Addr)
-	ch.Acquire(sim.PrioHostWrite, s.cfg.Timing.Transfer, func() {
-		die.Acquire(sim.PrioHostWrite, s.cfg.Timing.Program, func() {
-			s.pageDone(req)
-		})
-	})
 }

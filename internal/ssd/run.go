@@ -56,6 +56,10 @@ type Results struct {
 	GCBusy      time.Duration
 	RefreshBusy time.Duration
 
+	// Stages instruments the request-path stages (admission, FTL
+	// dispatch, flash command issue).
+	Stages StageStats
+
 	// WriteAmplification is (host page programs + GC moves + refresh
 	// moves and write-backs) / host page programs for the measured
 	// phase; 1.0 means no background rewriting.
@@ -170,7 +174,7 @@ func (s *SSD) replayTimed(reqs []workload.Request) {
 	}
 	scheduleArrival(0)
 	s.scheduleRefreshScan(func() bool {
-		return remaining > 0 || s.inFlight > 0 || len(s.hostQueue) > 0
+		return remaining > 0 || s.adm.inFlight > 0 || len(s.adm.queue) > 0
 	})
 	s.engine.Run()
 }
@@ -186,6 +190,9 @@ func (s *SSD) resetMetrics() {
 	s.busySpan = 0
 	s.gcBusy, s.refreshBusy = 0, 0
 	s.peakInUse, s.peakIDA = 0, 0
+	s.adm.stats = AdmissionStats{}
+	s.dispatchStats = DispatchStats{}
+	s.flashStats = FlashStats{}
 	s.phaseStart = s.engine.Now()
 }
 
@@ -233,7 +240,12 @@ func (s *SSD) results(name string) Results {
 		PeakIDA:           s.peakIDA,
 		GCBusy:            s.gcBusy,
 		RefreshBusy:       s.refreshBusy,
-		Events:            s.engine.Processed(),
+		Stages: StageStats{
+			Admission: s.adm.stats,
+			Dispatch:  s.dispatchStats,
+			Flash:     s.flashStats,
+		},
+		Events: s.engine.Processed(),
 	}
 	if hw := r.FTL.HostWrites; hw > 0 {
 		total := hw + r.FTL.GCMoves + r.FTL.RefreshMoves + r.FTL.IDACorruptedWrites

@@ -38,8 +38,20 @@ type Config struct {
 	// in a host-side FIFO (their wait counts toward response time).
 	// Zero means unlimited.
 	MaxQueueDepth int
+	// Scheduler selects the die/channel arbitration policy. Empty means
+	// read-first, the paper's policy (and the only one that reproduces
+	// its results bit for bit).
+	Scheduler sim.Policy
+	// SchedulerMaxWait bounds lower-class starvation under the age-aware
+	// policy; zero uses sim.DefaultAgeAwareMaxWait. Ignored otherwise.
+	SchedulerMaxWait time.Duration
 	// Seed drives the device-level randomness (ECC retry draws).
 	Seed int64
+}
+
+// schedulerConfig bundles the scheduling knobs for sim consumption.
+func (c Config) schedulerConfig() sim.SchedulerConfig {
+	return sim.SchedulerConfig{Policy: c.Scheduler, MaxWait: c.SchedulerMaxWait}
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -65,6 +77,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxQueueDepth < 0 {
 		return c, fmt.Errorf("ssd: MaxQueueDepth %d must be non-negative", c.MaxQueueDepth)
 	}
+	if c.Scheduler == "" {
+		c.Scheduler = sim.PolicyReadFirst
+	}
+	if err := c.schedulerConfig().Validate(); err != nil {
+		return c, err
+	}
 	c.FTL.Geometry = c.Geometry
 	return c, nil
 }
@@ -82,9 +100,13 @@ type SSD struct {
 
 	pageSize int
 
+	// Stage state and instrumentation (see admission.go for the pipeline
+	// overview).
+	adm           admission
+	dispatchStats DispatchStats
+	flashStats    FlashStats
+
 	// Host-visible accounting.
-	inFlight     int
-	hostQueue    []queuedRequest
 	lastHostDone sim.Time
 	busyStart    sim.Time
 	busySpan     time.Duration
@@ -122,14 +144,18 @@ func New(cfg Config) (*SSD, error) {
 		f:        f,
 		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x53534421)),
 		pageSize: cfg.Geometry.PageSizeBytes,
+		adm:      admission{maxDepth: cfg.MaxQueueDepth},
 	}
+	// Every resource gets its own scheduler instance: schedulers hold the
+	// queue state.
+	sched := cfg.schedulerConfig()
 	s.dies = make([]*sim.Resource, cfg.Geometry.Dies())
 	for i := range s.dies {
-		s.dies[i] = sim.NewResource(s.engine, fmt.Sprintf("die%d", i))
+		s.dies[i] = sim.NewResourceScheduled(s.engine, fmt.Sprintf("die%d", i), sched.New())
 	}
 	s.channels = make([]*sim.Resource, cfg.Geometry.Channels)
 	for i := range s.channels {
-		s.channels[i] = sim.NewResource(s.engine, fmt.Sprintf("ch%d", i))
+		s.channels[i] = sim.NewResourceScheduled(s.engine, fmt.Sprintf("ch%d", i), sched.New())
 	}
 	return s, nil
 }

@@ -392,7 +392,7 @@ func TestMaxQueueDepthSerializes(t *testing.T) {
 	if got := s.readResp.Mean(); got < single*3/2 {
 		t.Errorf("QD=1 mean response %v, want >= %v (serialized)", got, single*3/2)
 	}
-	if len(s.hostQueue) != 0 {
+	if len(s.adm.queue) != 0 {
 		t.Error("host queue not drained")
 	}
 	// Negative depth is rejected.
@@ -420,7 +420,7 @@ func TestMaxQueueDepthEndToEnd(t *testing.T) {
 	if got := res.ReadRequests + res.WriteRequests; got == 0 {
 		t.Fatal("no requests served")
 	}
-	if len(s.hostQueue) != 0 {
-		t.Errorf("host queue left with %d entries", len(s.hostQueue))
+	if len(s.adm.queue) != 0 {
+		t.Errorf("host queue left with %d entries", len(s.adm.queue))
 	}
 }
