@@ -6,10 +6,18 @@
 //	idasim -workload usr_1 [-requests N] [-ida] [-error 0.2]
 //	       [-deltatr 50us] [-bits 3] [-late]
 //	       [-sched read-first|fifo|age-aware] [-devices N] [-stripekb K]
+//	       [-trace-out t.json] [-metrics-out m.csv] [-metrics-interval 100ms]
+//	       [-trace-sample N] [-pprof cpu.out]
 //	idasim -trace trace.csv [-ida] ...
 //
 // With -trace, the file is parsed in the MSR Cambridge CSV format
 // (Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime).
+//
+// -trace-out writes the sampled request lifecycles as Chrome trace-event
+// JSON, loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing;
+// -metrics-out writes a fixed-interval time series of queue depths,
+// utilization, and block populations as CSV. Both are deterministic:
+// identical invocations produce byte-identical files.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"idaflash"
@@ -41,6 +50,12 @@ func main() {
 		stripeKB  = flag.Int("stripekb", 0, "array stripe unit in KiB; 0 uses the default (64)")
 		perDevice = flag.Bool("per-device", false, "with -devices > 1, print one summary per member device")
 		asJSON    = flag.Bool("json", false, "emit the full Results struct as JSON")
+
+		traceOut    = flag.String("trace-out", "", "write sampled request spans as Chrome/Perfetto trace-event JSON to this file")
+		metricsOut  = flag.String("metrics-out", "", "write the telemetry time series as CSV to this file")
+		metricsIval = flag.Duration("metrics-interval", 100*time.Millisecond, "simulated-time sampling period for -metrics-out")
+		traceSample = flag.Int("trace-sample", 1, "with -trace-out, record every Nth request's span")
+		pprofOut    = flag.String("pprof", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
 
@@ -66,6 +81,32 @@ func main() {
 	}
 	sys.Devices = *devices
 	sys.StripeKB = *stripeKB
+	if *traceOut != "" || *metricsOut != "" {
+		tc := idaflash.TelemetryConfig{SampleEvery: *traceSample}
+		if *metricsOut != "" {
+			if *metricsIval <= 0 {
+				fmt.Fprintf(os.Stderr, "-metrics-interval %v: must be positive\n", *metricsIval)
+				os.Exit(1)
+			}
+			tc.MetricsInterval = *metricsIval
+		}
+		sys.Telemetry = &tc
+	}
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	var res idaflash.Results
 	var per []idaflash.Results
@@ -87,6 +128,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if res.Telemetry != nil {
+		if *traceOut != "" {
+			if err := res.Telemetry.WriteTraceFile(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *metricsOut != "" {
+			if err := res.Telemetry.WriteCSVFile(*metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

@@ -38,6 +38,7 @@ import (
 	"idaflash/internal/ftl"
 	"idaflash/internal/sim"
 	"idaflash/internal/ssd"
+	"idaflash/internal/telemetry"
 	"idaflash/internal/workload"
 )
 
@@ -88,6 +89,12 @@ type (
 	ArrayConfig = array.Config
 	// ArrayResults pairs merged and per-device array measurements.
 	ArrayResults = array.Results
+	// TelemetryConfig parameterizes the request-lifecycle recorder (span
+	// sampling, ring capacity, time-series interval).
+	TelemetryConfig = telemetry.Config
+	// TelemetryExport is a recorded span/time-series snapshot, writable
+	// as Chrome/Perfetto trace JSON or metrics CSV.
+	TelemetryExport = telemetry.Export
 )
 
 // Scheduling policies for System.Scheduler and SSDConfig.Scheduler.
@@ -209,6 +216,14 @@ type System struct {
 	// StripeKB is the array stripe unit in KiB; zero uses the array
 	// default (64). Only meaningful with Devices > 1.
 	StripeKB int
+	// Telemetry, when non-nil, attaches the request-lifecycle recorder
+	// to every device built for this system: sampled per-request spans
+	// (exportable as Perfetto trace JSON) and, with a positive
+	// MetricsInterval, a time series of queue depths, utilization, and
+	// merge-state populations (exportable as CSV). Results.Telemetry
+	// carries the export; for arrays, the per-device streams are merged.
+	// Nil (the default) keeps the simulation hot path allocation-free.
+	Telemetry *TelemetryConfig
 }
 
 // Baseline returns the paper's baseline system.
@@ -295,6 +310,12 @@ func BuildConfig(p Profile, sys System) (SSDConfig, Profile, error) {
 		Scheduler:           sys.Scheduler,
 		SchedulerMaxWait:    sys.SchedulerMaxWait,
 		Seed:                p.Seed,
+	}
+	if sys.Telemetry != nil {
+		// Copy so callers can reuse one System across runs without the
+		// devices aliasing (and mutating) the same config.
+		tc := *sys.Telemetry
+		cfg.Telemetry = &tc
 	}
 	return cfg, p, nil
 }

@@ -304,6 +304,38 @@ func TestSchedulerKnobPlumbing(t *testing.T) {
 	}
 }
 
+func TestRunWorkloadTelemetry(t *testing.T) {
+	p := smallProfile(t, "usr_1")
+	sys := idaflash.IDA(0.2)
+	sys.Telemetry = &idaflash.TelemetryConfig{MetricsInterval: 100 * time.Millisecond}
+	res, err := idaflash.RunWorkload(p, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry == nil {
+		t.Fatal("System.Telemetry set but Results.Telemetry is nil")
+	}
+	if len(res.Telemetry.Spans) == 0 || len(res.Telemetry.Samples) == 0 {
+		t.Fatalf("empty telemetry export: %d spans, %d samples",
+			len(res.Telemetry.Spans), len(res.Telemetry.Samples))
+	}
+	// The array path tags and merges per-device streams.
+	sys.Devices = 2
+	ar, err := idaflash.RunArrayWorkload(p, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := ar.Combined.Telemetry
+	if e == nil || e.Device != -1 {
+		t.Fatalf("array telemetry not merged: %+v", e)
+	}
+	// The shared System config must not have been mutated by device
+	// tagging (each device gets its own copy).
+	if sys.Telemetry.Device != 0 {
+		t.Errorf("array run mutated the caller's TelemetryConfig: Device = %d", sys.Telemetry.Device)
+	}
+}
+
 func TestRunArrayWorkload(t *testing.T) {
 	p := smallProfile(t, "usr_1")
 	sys := idaflash.IDA(0.2)
@@ -329,7 +361,7 @@ func TestRunArrayWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if merged != ar.Combined {
+	if merged.Scalars() != ar.Combined.Scalars() {
 		t.Error("RunWorkload(Devices=4) diverged from RunArrayWorkload().Combined")
 	}
 	// Array runs are reproducible end to end.
@@ -337,7 +369,7 @@ func TestRunArrayWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if again.Combined != ar.Combined {
+	if again.Combined.Scalars() != ar.Combined.Scalars() {
 		t.Error("array workload not deterministic")
 	}
 }

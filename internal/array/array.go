@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"idaflash/internal/ssd"
+	"idaflash/internal/stats"
+	"idaflash/internal/telemetry"
 	"idaflash/internal/workload"
 )
 
@@ -74,6 +76,13 @@ func New(cfg Config) (*Array, error) {
 		dc := cfg.Device
 		dc.Seed += int64(i) * seedStep
 		dc.FTL.Seed += int64(i) * seedStep
+		if cfg.Device.Telemetry != nil {
+			// Each device records into its own stream, tagged with the
+			// member index; Merge interleaves them deterministically.
+			tc := *cfg.Device.Telemetry
+			tc.Device = i
+			dc.Telemetry = &tc
+		}
 		dev, err := ssd.New(dc)
 		if err != nil {
 			return nil, fmt.Errorf("array: device %d: %w", i, err)
@@ -137,10 +146,12 @@ func Split(tr *workload.Trace, devices int, unitBytes int64) []*workload.Trace {
 type Results struct {
 	// Combined is the merged array-level view. Request counts sum the
 	// per-device sub-requests (a host request striped over k devices
-	// counts k times); response-time means are weighted by those counts,
-	// and P99 is the worst device's P99 — both slightly optimistic for
-	// host-visible latency, since a striped host request only completes
-	// when its slowest sub-request does.
+	// counts k times); response-time means and quantiles come from the
+	// merged per-device latency histograms, so the P99 is the true 99th
+	// percentile of the pooled sub-request population rather than the
+	// worst device's P99. Still slightly optimistic for host-visible
+	// latency, since a striped host request only completes when its
+	// slowest sub-request does.
 	Combined ssd.Results
 	// PerDevice holds each member device's own measurements; devices a
 	// trace never touched report a zero value.
@@ -200,20 +211,29 @@ func (a *Array) Run(tr *workload.Trace, opts ssd.RunOptions) (Results, error) {
 
 // Merge combines per-device results into one array-level ssd.Results (see
 // Results.Combined for the metric semantics). Counters and busy times sum;
+// response-time statistics come from the merged per-device histograms
+// (with a count-weighted fallback for results built without histograms);
 // spans take the slowest device; throughput is total bytes moved per second
-// of the longest device busy span.
+// of the longest device busy span. Per-device telemetry exports merge into
+// one multi-stream export.
 func Merge(name string, per []ssd.Results) ssd.Results {
 	c := ssd.Results{Trace: name}
+	readHist, writeHist := &stats.LatencyHist{}, &stats.LatencyHist{}
+	tels := make([]*telemetry.Export, 0, len(per))
 	var readW, writeW float64   // weighted response-time accumulators, ns
+	var worstP99 time.Duration  // fallback when histograms are absent
 	var bytesMB, readMB float64 // total host MB moved, from per-device rates
 	var utilDevs int
 	for _, r := range per {
 		c.ReadRequests += r.ReadRequests
 		c.WriteRequests += r.WriteRequests
+		readHist.Merge(r.ReadHist)
+		writeHist.Merge(r.WriteHist)
+		tels = append(tels, r.Telemetry)
 		readW += float64(r.MeanReadResponse) * float64(r.ReadRequests)
 		writeW += float64(r.MeanWriteResponse) * float64(r.WriteRequests)
-		if r.P99ReadResponse > c.P99ReadResponse {
-			c.P99ReadResponse = r.P99ReadResponse
+		if r.P99ReadResponse > worstP99 {
+			worstP99 = r.P99ReadResponse
 		}
 		if r.Makespan > c.Makespan {
 			c.Makespan = r.Makespan
@@ -238,12 +258,26 @@ func Merge(name string, per []ssd.Results) ssd.Results {
 			utilDevs++
 		}
 	}
-	if c.ReadRequests > 0 {
-		c.MeanReadResponse = time.Duration(readW / float64(c.ReadRequests))
+	// True pooled statistics when the devices carried their histograms;
+	// the pre-histogram approximations (count-weighted mean, worst-device
+	// P99) otherwise.
+	if readHist.N() > 0 {
+		c.MeanReadResponse = readHist.Mean()
+		c.P99ReadResponse = readHist.Quantile(0.99)
+		c.ReadHist = readHist
+	} else {
+		c.P99ReadResponse = worstP99
+		if c.ReadRequests > 0 {
+			c.MeanReadResponse = time.Duration(readW / float64(c.ReadRequests))
+		}
 	}
-	if c.WriteRequests > 0 {
+	if writeHist.N() > 0 {
+		c.MeanWriteResponse = writeHist.Mean()
+		c.WriteHist = writeHist
+	} else if c.WriteRequests > 0 {
 		c.MeanWriteResponse = time.Duration(writeW / float64(c.WriteRequests))
 	}
+	c.Telemetry = telemetry.MergeExports(tels...)
 	if utilDevs > 0 {
 		c.MeanDieUtilization /= float64(utilDevs)
 		c.MeanChannelUtilization /= float64(utilDevs)

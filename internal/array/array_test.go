@@ -1,12 +1,15 @@
 package array
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
 	"idaflash/internal/flash"
 	"idaflash/internal/ftl"
 	"idaflash/internal/ssd"
+	"idaflash/internal/stats"
+	"idaflash/internal/telemetry"
 	"idaflash/internal/workload"
 )
 
@@ -206,13 +209,104 @@ func TestArrayRunDeterministic(t *testing.T) {
 		return res
 	}
 	a, b := run(), run()
-	if a.Combined != b.Combined {
+	if a.Combined.Scalars() != b.Combined.Scalars() {
 		t.Errorf("array runs diverged:\n%+v\n%+v", a.Combined, b.Combined)
 	}
 	for d := range a.PerDevice {
-		if a.PerDevice[d] != b.PerDevice[d] {
+		if a.PerDevice[d].Scalars() != b.PerDevice[d].Scalars() {
 			t.Errorf("device %d diverged across runs", d)
 		}
+	}
+}
+
+// The merged P99 must be the quantile of the pooled per-device populations,
+// not the worst device's own P99: one outlier on an otherwise-fast device
+// should not set the whole array's tail.
+func TestMergePoolsPercentiles(t *testing.T) {
+	hist := func(ds ...time.Duration) *stats.LatencyHist {
+		h := &stats.LatencyHist{}
+		for _, d := range ds {
+			h.Add(d)
+		}
+		return h
+	}
+	fast := make([]time.Duration, 100)
+	for i := range fast {
+		fast[i] = time.Millisecond
+	}
+	dev0 := ssd.Results{ReadRequests: 100, ReadHist: hist(fast...)}
+	slowTail := append(append([]time.Duration{}, fast[:9]...), 100*time.Millisecond)
+	dev1 := ssd.Results{ReadRequests: 10, ReadHist: hist(slowTail...)}
+
+	m := Merge("pool", []ssd.Results{dev0, dev1})
+	// Pooled: 109 of 110 reads are ~1ms, so the 99th percentile sits in
+	// the 1ms bucket. The worst device's own P99 would be ~100ms.
+	if m.P99ReadResponse > 2*time.Millisecond {
+		t.Errorf("pooled P99 = %v, want ~1ms (worst-device P99 leaked through)", m.P99ReadResponse)
+	}
+	if m.ReadHist == nil || m.ReadHist.N() != 110 {
+		t.Errorf("merged histogram missing or wrong population: %+v", m.ReadHist)
+	}
+	// Hand-built results without histograms still merge via the fallback.
+	f := Merge("fallback", []ssd.Results{
+		{ReadRequests: 1, MeanReadResponse: time.Millisecond, P99ReadResponse: time.Millisecond},
+		{ReadRequests: 1, MeanReadResponse: 3 * time.Millisecond, P99ReadResponse: 5 * time.Millisecond},
+	})
+	if f.MeanReadResponse != 2*time.Millisecond || f.P99ReadResponse != 5*time.Millisecond {
+		t.Errorf("histogram-free fallback broke: mean %v p99 %v", f.MeanReadResponse, f.P99ReadResponse)
+	}
+}
+
+// An array with telemetry enabled tags each device's stream and merges them
+// into one deterministic export.
+func TestArrayTelemetryMergesStreams(t *testing.T) {
+	tr := parallelTrace("tel", 600)
+	run := func() *telemetry.Export {
+		dc := deviceConfig()
+		dc.Telemetry = &telemetry.Config{MetricsInterval: 50 * time.Millisecond}
+		arr, err := New(Config{Devices: 3, StripeKB: 64, Device: dc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := arr.Run(tr, ssd.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Combined.Telemetry
+	}
+	e := run()
+	if e == nil {
+		t.Fatal("array telemetry export is nil")
+	}
+	if e.Device != -1 {
+		t.Errorf("merged export device tag = %d, want -1", e.Device)
+	}
+	devs := map[int]bool{}
+	for i := range e.Spans {
+		devs[e.Spans[i].Device] = true
+	}
+	for d := 0; d < 3; d++ {
+		if !devs[d] {
+			t.Errorf("no spans from device %d in merged export", d)
+		}
+	}
+	for i := 1; i < len(e.Samples); i++ {
+		a, b := &e.Samples[i-1], &e.Samples[i]
+		if a.At > b.At || (a.At == b.At && a.Device >= b.Device) {
+			t.Fatalf("samples not in (At, Device) order at %d", i)
+		}
+	}
+	// Despite per-device goroutines, the merged export must serialize
+	// identically across runs.
+	var c1, c2 bytes.Buffer
+	if err := e.WriteCSV(&c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run().WriteCSV(&c2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1.Bytes(), c2.Bytes()) {
+		t.Error("array telemetry CSV not deterministic across runs")
 	}
 }
 

@@ -28,6 +28,47 @@ type ppn uint64
 
 const noPPN = ppn(1) << 63
 
+// Hooks receives notifications of FTL-level operations as they are
+// decided, before their timing is charged. The telemetry layer hangs its
+// activity counters here; every field is optional and a nil *Hooks (the
+// default) costs one branch per operation and no allocations. Hooks must
+// not mutate FTL state.
+type Hooks struct {
+	// Read fires for every resolved host page read.
+	Read func(info ReadInfo)
+	// Write fires for every host page program.
+	Write func(prog PageProgram)
+	// GC fires once per completed garbage-collection job.
+	GC func(job *GCJob)
+	// Refresh fires once per completed refresh job.
+	Refresh func(job *RefreshJob)
+}
+
+// read dispatches the Read hook, tolerating nil receivers and fields.
+func (h *Hooks) read(info ReadInfo) {
+	if h != nil && h.Read != nil {
+		h.Read(info)
+	}
+}
+
+func (h *Hooks) write(prog PageProgram) {
+	if h != nil && h.Write != nil {
+		h.Write(prog)
+	}
+}
+
+func (h *Hooks) gc(job *GCJob) {
+	if h != nil && h.GC != nil {
+		h.GC(job)
+	}
+}
+
+func (h *Hooks) refresh(job *RefreshJob) {
+	if h != nil && h.Refresh != nil {
+		h.Refresh(job)
+	}
+}
+
 // Options configures an FTL instance.
 type Options struct {
 	// Geometry is the physical device shape. Required.
@@ -73,6 +114,8 @@ type Options struct {
 	GCFreeBlocks int
 	// Seed drives the FTL's randomness (corruption draws, stagger).
 	Seed int64
+	// Hooks observes FTL operations (telemetry); nil disables.
+	Hooks *Hooks
 }
 
 func (o Options) withDefaults() (Options, error) {

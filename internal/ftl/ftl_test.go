@@ -369,3 +369,93 @@ func TestAllocationOrders(t *testing.T) {
 		}
 	}
 }
+
+// TestHooksObserveOperations drives writes, reads, GC, and refresh with
+// hooks installed and checks the callbacks agree with the stats counters.
+func TestHooksObserveOperations(t *testing.T) {
+	var reads, writes, gcJobs, gcMoves, refreshes int
+	hooks := &Hooks{
+		Read:    func(info ReadInfo) { reads++ },
+		Write:   func(prog PageProgram) { writes++ },
+		GC:      func(job *GCJob) { gcJobs++; gcMoves += len(job.Moves) },
+		Refresh: func(job *RefreshJob) { refreshes++ },
+	}
+	f := mustFTL(t, Options{
+		Geometry:      tinyGeom(),
+		RefreshPeriod: time.Minute,
+		Hooks:         hooks,
+	})
+	// Overwrite a small working set until GC has to run.
+	for i := 0; i < 200; i++ {
+		if _, err := f.Write(LPN(i%20), sim.Time(i)); err != nil {
+			t.Fatal(err)
+		}
+		f.CollectGC(sim.Time(i))
+	}
+	for i := 0; i < 20; i++ {
+		if _, ok := f.Read(LPN(i)); !ok {
+			t.Fatalf("LPN %d unmapped", i)
+		}
+	}
+	f.CloseActiveBlocks()
+	f.DueRefreshes(sim.Time(2 * time.Minute))
+
+	s := f.Stats()
+	if uint64(writes) != s.HostWrites {
+		t.Errorf("write hooks = %d, stats = %d", writes, s.HostWrites)
+	}
+	if uint64(reads) != s.HostReads {
+		t.Errorf("read hooks = %d, stats = %d", reads, s.HostReads)
+	}
+	if uint64(gcJobs) != s.GCJobs || uint64(gcMoves) != s.GCMoves {
+		t.Errorf("gc hooks = %d jobs/%d moves, stats = %d/%d", gcJobs, gcMoves, s.GCJobs, s.GCMoves)
+	}
+	if gcJobs == 0 {
+		t.Error("workload never triggered GC; test is vacuous")
+	}
+	if uint64(refreshes) != s.Refreshes || refreshes == 0 {
+		t.Errorf("refresh hooks = %d, stats = %d", refreshes, s.Refreshes)
+	}
+	checkInvariants(t, f)
+}
+
+// TestUsageCountsIDAValidPages checks the merge-state page census.
+func TestUsageCountsIDAValidPages(t *testing.T) {
+	f := mustFTL(t, Options{
+		Geometry:      tinyGeom(),
+		IDAEnabled:    true,
+		RefreshPeriod: time.Minute,
+	})
+	// Fill a block, invalidate some LSBs so refresh has IDA work, age it,
+	// refresh.
+	for i := 0; i < 24; i++ {
+		if _, err := f.Write(LPN(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.CloseActiveBlocks()
+	f.DueRefreshes(sim.Time(2 * time.Minute))
+	u := f.Usage()
+	if u.IDABlocks == 0 {
+		t.Fatal("no IDA blocks after an IDA refresh; test is vacuous")
+	}
+	if u.IDAValidPages == 0 {
+		t.Error("IDA blocks present but IDAValidPages = 0")
+	}
+	// The census sums exactly the valid counts of IDA blocks.
+	want := 0
+	for _, ps := range f.planes {
+		for blk, b := range ps.blocks {
+			if b != nil && blk != ps.active && b.nextStep > 0 && b.validCount > 0 && b.ida {
+				want += b.validCount
+			}
+		}
+	}
+	if u.IDAValidPages != want {
+		t.Errorf("IDAValidPages = %d, want %d", u.IDAValidPages, want)
+	}
+	// Merging two censuses sums the field.
+	if got := u.Add(u).IDAValidPages; got != 2*want {
+		t.Errorf("Add: IDAValidPages = %d, want %d", got, 2*want)
+	}
+}

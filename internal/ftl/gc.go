@@ -128,5 +128,6 @@ func (f *FTL) collectPlane(pl flash.PlaneID, now sim.Time) (GCJob, bool) {
 	if job.VictimWasIDA {
 		f.stats.GCIDAVictims++
 	}
+	f.opts.Hooks.gc(&job)
 	return job, true
 }

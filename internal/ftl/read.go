@@ -80,6 +80,7 @@ func (f *FTL) Read(lpn LPN) (ReadInfo, bool) {
 	if info.IDA {
 		f.stats.ReadsFromIDA++
 	}
+	f.opts.Hooks.read(info)
 	return info, true
 }
 

@@ -77,6 +77,10 @@ type BlockUsage struct {
 	InUse     int // programmed, holding at least one valid page
 	Empty     int // programmed but fully invalid (awaiting GC)
 	IDABlocks int // reprogrammed with the IDA coding, still in use
+	// IDAValidPages counts valid pages living on IDA-reprogrammed
+	// blocks — the merge-state page population the telemetry
+	// time-series tracks over refresh cycles.
+	IDAValidPages int
 }
 
 // Add returns the field-wise sum of two censuses, merging a striped array's
@@ -88,6 +92,7 @@ func (u BlockUsage) Add(o BlockUsage) BlockUsage {
 	u.InUse += o.InUse
 	u.Empty += o.Empty
 	u.IDABlocks += o.IDABlocks
+	u.IDAValidPages += o.IDAValidPages
 	return u
 }
 
@@ -154,6 +159,7 @@ func (f *FTL) Usage() BlockUsage {
 				u.InUse++
 				if b.ida {
 					u.IDABlocks++
+					u.IDAValidPages += b.validCount
 				}
 			} else {
 				u.Empty++

@@ -45,7 +45,9 @@ func (f *FTL) Write(lpn LPN, now sim.Time) (PageProgram, error) {
 	b.rmap[page] = lpn
 	b.validCount++
 	f.stats.HostWrites++
-	return PageProgram{Addr: f.addrOf(p), LPN: lpn}, nil
+	prog := PageProgram{Addr: f.addrOf(p), LPN: lpn}
+	f.opts.Hooks.write(prog)
+	return prog, nil
 }
 
 // Trim invalidates the LPN without writing a replacement.

@@ -110,3 +110,22 @@ func (e *Engine) RunUntil(t Time) {
 		e.now = t
 	}
 }
+
+// Pulse schedules fn at fixed intervals starting one interval from now,
+// re-arming only while other events remain pending: when a pulse fires and
+// finds the queue otherwise empty, it does not re-arm, so a finished
+// simulation drains instead of ticking forever. Telemetry samplers hang
+// off this. A non-positive interval panics.
+func (e *Engine) Pulse(interval time.Duration, fn func(now Time)) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: pulse interval %v must be positive", interval))
+	}
+	var tick func()
+	tick = func() {
+		fn(e.now)
+		if len(e.events) > 0 {
+			e.After(interval, tick)
+		}
+	}
+	e.After(interval, tick)
+}

@@ -101,3 +101,50 @@ func TestStepOnEmptyQueue(t *testing.T) {
 		t.Error("Step on empty queue should return false")
 	}
 }
+
+func TestPulseFiresOnIntervalBoundaries(t *testing.T) {
+	e := NewEngine()
+	// Work spread over 95us keeps the queue non-empty through nine ticks.
+	for i := 1; i <= 19; i++ {
+		e.At(time.Duration(i)*5*time.Microsecond, func() {})
+	}
+	var ticks []Time
+	e.Pulse(10*time.Microsecond, func(now Time) { ticks = append(ticks, now) })
+	e.Run()
+	// Ticks at exactly 10, 20, ..., 100us; the 100us tick finds the
+	// queue empty and stops the chain.
+	if len(ticks) != 10 {
+		t.Fatalf("ticks = %d (%v), want 10", len(ticks), ticks)
+	}
+	for i, at := range ticks {
+		if want := time.Duration(i+1) * 10 * time.Microsecond; at != want {
+			t.Errorf("tick %d at %v, want exact boundary %v", i, at, want)
+		}
+	}
+}
+
+func TestPulseStopsWhenQueueDrains(t *testing.T) {
+	e := NewEngine()
+	e.At(time.Microsecond, func() {})
+	fired := 0
+	e.Pulse(10*time.Microsecond, func(Time) { fired++ })
+	e.Run()
+	// The only pulse fires after the lone event, finds nothing pending,
+	// and does not re-arm: Run terminates.
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after Run", e.Pending())
+	}
+}
+
+func TestPulseRejectsNonPositiveInterval(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("zero pulse interval should panic")
+		}
+	}()
+	e.Pulse(0, func(Time) {})
+}

@@ -42,6 +42,19 @@ type ResourceStats struct {
 	LastIdleAt Time
 }
 
+// ResourceHook observes waiter lifecycle events on a resource; telemetry
+// recorders implement it to see queue growth and grant waits as they
+// happen rather than only at sampling instants. A nil hook (the default)
+// costs one branch per event and no allocations.
+type ResourceHook interface {
+	// ResourceEnqueued fires when a waiter queues behind a busy server;
+	// depth is the queue length including the new waiter.
+	ResourceEnqueued(r *Resource, p Priority, depth int)
+	// ResourceGranted fires when a waiter enters service, with its
+	// queueing delay and the hold it was granted.
+	ResourceGranted(r *Resource, p Priority, wait, hold time.Duration)
+}
+
 // Resource is a single non-preemptive server: a die (one flash command at a
 // time) or a channel (one transfer at a time). Acquisitions specify how long
 // the server is held; when the hold expires, the completion callback runs
@@ -54,6 +67,7 @@ type Resource struct {
 	sched  Scheduler
 	seq    uint64
 	stats  ResourceStats
+	hook   ResourceHook
 }
 
 // NewResource creates a resource bound to the engine with the default
@@ -81,6 +95,9 @@ func (r *Resource) Policy() Policy { return r.sched.Policy() }
 // Stats returns a snapshot of the accumulated statistics.
 func (r *Resource) Stats() ResourceStats { return r.stats }
 
+// SetHook installs a lifecycle observer (nil removes it).
+func (r *Resource) SetHook(h ResourceHook) { r.hook = h }
+
 // Busy reports whether the server is currently held.
 func (r *Resource) Busy() bool { return r.busy }
 
@@ -102,8 +119,12 @@ func (r *Resource) Acquire(p Priority, hold time.Duration, then func()) {
 	w := Waiter{Prio: p, Enqueued: r.engine.Now(), seq: r.seq, hold: hold, then: then}
 	if r.busy {
 		r.sched.Push(w)
-		if q := r.sched.Len(); q > r.stats.MaxQueue {
+		q := r.sched.Len()
+		if q > r.stats.MaxQueue {
 			r.stats.MaxQueue = q
+		}
+		if r.hook != nil {
+			r.hook.ResourceEnqueued(r, p, q)
 		}
 		return
 	}
@@ -114,8 +135,12 @@ func (r *Resource) Acquire(p Priority, hold time.Duration, then func()) {
 func (r *Resource) serve(w Waiter) {
 	r.busy = true
 	r.stats.Grants[w.Prio]++
-	r.stats.WaitTime[w.Prio] += r.engine.Now() - w.Enqueued
+	wait := r.engine.Now() - w.Enqueued
+	r.stats.WaitTime[w.Prio] += wait
 	r.stats.BusyTime += w.hold
+	if r.hook != nil {
+		r.hook.ResourceGranted(r, w.Prio, wait, w.hold)
+	}
 	r.engine.After(w.hold, func() {
 		// Run the completion callback while the server is still
 		// marked busy, so a callback that immediately re-acquires

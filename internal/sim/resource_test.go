@@ -182,3 +182,51 @@ func TestResourceQueueLenAndBusy(t *testing.T) {
 		t.Errorf("max queue = %d, want 2", r.Stats().MaxQueue)
 	}
 }
+
+// hookLog records ResourceHook callbacks for inspection.
+type hookLog struct {
+	enqueued []int // queue depths
+	grants   []struct {
+		p          Priority
+		wait, hold time.Duration
+	}
+}
+
+func (h *hookLog) ResourceEnqueued(r *Resource, p Priority, depth int) {
+	h.enqueued = append(h.enqueued, depth)
+}
+
+func (h *hookLog) ResourceGranted(r *Resource, p Priority, wait, hold time.Duration) {
+	h.grants = append(h.grants, struct {
+		p          Priority
+		wait, hold time.Duration
+	}{p, wait, hold})
+}
+
+func TestResourceHookSeesQueueingAndGrants(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "die")
+	h := &hookLog{}
+	r.SetHook(h)
+	r.Acquire(PrioHostRead, 10*time.Microsecond, nil)  // served immediately
+	r.Acquire(PrioHostWrite, 5*time.Microsecond, nil)  // queued at depth 1
+	r.Acquire(PrioBackground, 2*time.Microsecond, nil) // queued at depth 2
+	e.Run()
+	if len(h.enqueued) != 2 || h.enqueued[0] != 1 || h.enqueued[1] != 2 {
+		t.Fatalf("enqueue depths = %v, want [1 2]", h.enqueued)
+	}
+	if len(h.grants) != 3 {
+		t.Fatalf("grants = %d, want 3", len(h.grants))
+	}
+	first := h.grants[0]
+	if first.p != PrioHostRead || first.wait != 0 || first.hold != 10*time.Microsecond {
+		t.Errorf("first grant = %+v, want immediate read for 10us", first)
+	}
+	// The write waited the read's full hold; the background waiter both.
+	if h.grants[1].wait != 10*time.Microsecond {
+		t.Errorf("write wait = %v, want 10us", h.grants[1].wait)
+	}
+	if h.grants[2].wait != 15*time.Microsecond {
+		t.Errorf("background wait = %v, want 15us", h.grants[2].wait)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"idaflash/internal/sim"
+	"idaflash/internal/telemetry"
 	"idaflash/internal/workload"
 )
 
@@ -44,6 +45,7 @@ func (s StageStats) Add(o StageStats) StageStats {
 type queuedRequest struct {
 	r       workload.Request
 	arrived sim.Time
+	sp      *telemetry.Span // nil when unsampled
 }
 
 // AdmissionStats instruments the admission stage.
@@ -78,8 +80,8 @@ func (a *admission) hasSlot() bool {
 }
 
 // park queues a request host-side until a slot frees up.
-func (a *admission) park(r workload.Request, arrived sim.Time) {
-	a.queue = append(a.queue, queuedRequest{r: r, arrived: arrived})
+func (a *admission) park(r workload.Request, arrived sim.Time, sp *telemetry.Span) {
+	a.queue = append(a.queue, queuedRequest{r: r, arrived: arrived, sp: sp})
 	a.stats.HostQueued++
 	if len(a.queue) > a.stats.MaxHostQueue {
 		a.stats.MaxHostQueue = len(a.queue)

@@ -3,6 +3,7 @@ package ssd
 import (
 	"idaflash/internal/ftl"
 	"idaflash/internal/sim"
+	"idaflash/internal/telemetry"
 	"idaflash/internal/workload"
 )
 
@@ -31,10 +32,11 @@ func (s *SSD) lpnRange(offset int64, size int) (first, count ftl.LPN) {
 
 // startRequest begins servicing a host request; arrived is its original
 // arrival time (which may predate now if it waited in the host queue).
-func (s *SSD) startRequest(r workload.Request, arrived sim.Time) {
+func (s *SSD) startRequest(r workload.Request, arrived sim.Time, sp *telemetry.Span) {
 	now := s.engine.Now()
+	sp.Admit(now)
 	first, count := s.lpnRange(r.Offset, r.Size)
-	req := &request{arrived: arrived, pages: int(count), read: r.Read, size: r.Size}
+	req := &request{arrived: arrived, pages: int(count), read: r.Read, size: r.Size, sp: sp}
 	if s.adm.inFlight == 0 {
 		s.busyStart = now
 	}

@@ -5,6 +5,7 @@ import (
 
 	"idaflash/internal/ftl"
 	"idaflash/internal/sim"
+	"idaflash/internal/telemetry"
 )
 
 // Flash command issue stage: dispatched page operations become timed
@@ -35,7 +36,11 @@ func (s *SSD) readPage(lpn ftl.LPN, req *request) {
 		// we charge a conservative full page read).
 		s.unmapped++
 		s.dispatchStats.UnmappedPages++
-		s.engine.After(s.cfg.Timing.ReadLatency(1)+s.cfg.Timing.Transfer+s.cfg.ECC.DecodeLatency, func() {
+		now := s.engine.Now()
+		flash := s.cfg.Timing.ReadLatency(1) + s.cfg.Timing.Transfer
+		req.sp.AddPhase(telemetry.StageFlash, now, now+flash)
+		req.sp.AddPhase(telemetry.StageECC, now+flash, now+flash+s.cfg.ECC.DecodeLatency)
+		s.engine.After(flash+s.cfg.ECC.DecodeLatency, func() {
 			s.pageDone(req)
 		})
 		return
@@ -81,8 +86,16 @@ func (s *SSD) readRound(info ftl.ReadInfo, req *request, retriesLeft int, first 
 		s.flashStats.RetryRounds++
 	}
 	s.flashStats.ReadCommands++
+	issued := s.engine.Now()
 	die.Acquire(sim.PrioHostRead, 0, func() {
 		ch.Acquire(sim.PrioHostRead, hold, func() {
+			// This callback runs at the completion instant; the
+			// channel started serving hold earlier, and everything
+			// before that was die/channel queueing.
+			done := s.engine.Now()
+			req.sp.AddPhase(telemetry.StageQueue, issued, done-hold)
+			req.sp.AddPhase(telemetry.StageFlash, done-hold, done)
+			req.sp.AddPhase(telemetry.StageECC, done, done+s.cfg.ECC.DecodeLatency)
 			s.engine.After(s.cfg.ECC.DecodeLatency, func() {
 				if retriesLeft > 0 {
 					s.readRound(info, req, retriesLeft-1, false)
@@ -105,8 +118,16 @@ func (s *SSD) writePage(lpn ftl.LPN, req *request) {
 	s.flashStats.ProgramCommands++
 	die := s.dieOf(prog.Addr)
 	ch := s.channelOf(prog.Addr)
-	ch.Acquire(sim.PrioHostWrite, s.cfg.Timing.Transfer, func() {
-		die.Acquire(sim.PrioHostWrite, s.cfg.Timing.Program, func() {
+	issued := s.engine.Now()
+	transfer, program := s.cfg.Timing.Transfer, s.cfg.Timing.Program
+	ch.Acquire(sim.PrioHostWrite, transfer, func() {
+		sent := s.engine.Now()
+		req.sp.AddPhase(telemetry.StageQueue, issued, sent-transfer)
+		req.sp.AddPhase(telemetry.StageFlash, sent-transfer, sent)
+		die.Acquire(sim.PrioHostWrite, program, func() {
+			done := s.engine.Now()
+			req.sp.AddPhase(telemetry.StageQueue, sent, done-program)
+			req.sp.AddPhase(telemetry.StageFlash, done-program, done)
 			s.pageDone(req)
 		})
 	})

@@ -2,6 +2,7 @@ package ssd
 
 import (
 	"idaflash/internal/sim"
+	"idaflash/internal/telemetry"
 	"idaflash/internal/workload"
 )
 
@@ -16,17 +17,21 @@ type request struct {
 	pages   int // pages still outstanding
 	read    bool
 	size    int
+	// sp is the request's telemetry span; nil when telemetry is disabled
+	// or the request is not sampled (all Span methods are nil-safe).
+	sp *telemetry.Span
 }
 
 // submit admits a newly-arrived host request, queueing it host-side when
 // the submission queue is full.
 func (s *SSD) submit(r workload.Request) {
 	now := s.engine.Now()
+	sp := s.tel.StartRequest(now, r.Read, r.Size)
 	if !s.adm.hasSlot() {
-		s.adm.park(r, now)
+		s.adm.park(r, now, sp)
 		return
 	}
-	s.startRequest(r, now)
+	s.startRequest(r, now, sp)
 }
 
 // pageDone accounts one finished page of the request and completes it when
@@ -38,6 +43,7 @@ func (s *SSD) pageDone(req *request) {
 	}
 	now := s.engine.Now()
 	lat := now - req.arrived
+	s.tel.FinishRequest(req.sp, now, req.read)
 	if req.read {
 		s.readResp.Add(lat)
 		s.readBytes += uint64(req.size)
@@ -56,6 +62,6 @@ func (s *SSD) pageDone(req *request) {
 		s.busySpan += now - s.busyStart
 	}
 	if ok {
-		s.startRequest(next.r, next.arrived)
+		s.startRequest(next.r, next.arrived, next.sp)
 	}
 }

@@ -21,7 +21,7 @@ func TestAdmissionStageFIFOUnderPressure(t *testing.T) {
 		t.Fatal("depth-2 stage full after two admissions")
 	}
 	for i := 0; i < 3; i++ {
-		a.park(workload.Request{Offset: int64(i)}, sim.Time(i))
+		a.park(workload.Request{Offset: int64(i)}, sim.Time(i), nil)
 	}
 	if a.stats.HostQueued != 3 || a.stats.MaxHostQueue != 3 {
 		t.Fatalf("park stats = %+v", a.stats)

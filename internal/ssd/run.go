@@ -7,6 +7,7 @@ import (
 	"idaflash/internal/ftl"
 	"idaflash/internal/sim"
 	"idaflash/internal/stats"
+	"idaflash/internal/telemetry"
 	"idaflash/internal/workload"
 )
 
@@ -71,6 +72,26 @@ type Results struct {
 	MeanChannelUtilization float64
 
 	Events uint64
+
+	// ReadHist and WriteHist are independent copies of the response-time
+	// histograms behind the means and quantiles above; array drivers
+	// merge them for true array-level percentiles. Excluded from JSON so
+	// serialized results keep their pre-telemetry shape.
+	ReadHist  *stats.LatencyHist `json:"-"`
+	WriteHist *stats.LatencyHist `json:"-"`
+	// Telemetry is the device's span and time-series export, nil when
+	// telemetry is disabled. Excluded from JSON for the same reason;
+	// drivers serialize it through WriteTraceFile/WriteCSVFile.
+	Telemetry *telemetry.Export `json:"-"`
+}
+
+// Scalars returns a copy with the pointer-typed exports (histograms,
+// telemetry) cleared, leaving only value fields. Determinism checks compare
+// these copies with ==; the pointed-to exports are compared through their
+// own serialized forms (the CSV/trace byte-equality gate in CI).
+func (r Results) Scalars() Results {
+	r.ReadHist, r.WriteHist, r.Telemetry = nil, nil, nil
+	return r
 }
 
 // Run executes the trace on the device and returns the measurements. It
@@ -176,6 +197,7 @@ func (s *SSD) replayTimed(reqs []workload.Request) {
 	s.scheduleRefreshScan(func() bool {
 		return remaining > 0 || s.adm.inFlight > 0 || len(s.adm.queue) > 0
 	})
+	s.armSampler()
 	s.engine.Run()
 }
 
@@ -245,7 +267,10 @@ func (s *SSD) results(name string) Results {
 			Dispatch:  s.dispatchStats,
 			Flash:     s.flashStats,
 		},
-		Events: s.engine.Processed(),
+		Events:    s.engine.Processed(),
+		ReadHist:  s.readResp.Clone(),
+		WriteHist: s.writeResp.Clone(),
+		Telemetry: s.tel.Export(),
 	}
 	if hw := r.FTL.HostWrites; hw > 0 {
 		total := hw + r.FTL.GCMoves + r.FTL.RefreshMoves + r.FTL.IDACorruptedWrites

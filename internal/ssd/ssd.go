@@ -16,6 +16,7 @@ import (
 	"idaflash/internal/ftl"
 	"idaflash/internal/sim"
 	"idaflash/internal/stats"
+	"idaflash/internal/telemetry"
 )
 
 // Config describes a complete simulated SSD.
@@ -47,6 +48,12 @@ type Config struct {
 	SchedulerMaxWait time.Duration
 	// Seed drives the device-level randomness (ECC retry draws).
 	Seed int64
+	// Telemetry, when non-nil, attaches a lifecycle recorder: request
+	// spans (sampled per Telemetry.SampleEvery) and, with a positive
+	// MetricsInterval, a fixed-interval time series of queue depths,
+	// utilization, and background activity. Results.Telemetry carries
+	// the export. Nil keeps the hot path allocation-free.
+	Telemetry *telemetry.Config
 }
 
 // schedulerConfig bundles the scheduling knobs for sim consumption.
@@ -82,6 +89,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if err := c.schedulerConfig().Validate(); err != nil {
 		return c, err
+	}
+	if c.Telemetry != nil && c.Telemetry.MetricsInterval < 0 {
+		return c, fmt.Errorf("ssd: Telemetry.MetricsInterval %v must be non-negative", c.Telemetry.MetricsInterval)
 	}
 	c.FTL.Geometry = c.Geometry
 	return c, nil
@@ -126,6 +136,15 @@ type SSD struct {
 	peakIDA     int
 
 	scanning bool
+
+	// Telemetry (nil when disabled; see telemetry.go).
+	tel                 *telemetry.Recorder
+	dieWatch, chanWatch *resourceWatch
+	lastDieBusy         time.Duration
+	lastChanBusy        time.Duration
+	lastPerChanBusy     []time.Duration
+	lastGCBusy          time.Duration
+	lastRefreshBusy     time.Duration
 }
 
 // New builds an SSD from the config.
@@ -134,31 +153,49 @@ func New(cfg Config) (*SSD, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := ftl.New(cfg.FTL)
-	if err != nil {
-		return nil, err
-	}
 	s := &SSD{
 		cfg:      cfg,
 		engine:   sim.NewEngine(),
-		f:        f,
 		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x53534421)),
 		pageSize: cfg.Geometry.PageSizeBytes,
 		adm:      admission{maxDepth: cfg.MaxQueueDepth},
 	}
+	// The telemetry recorder hangs off the FTL's operation hooks, so it
+	// must exist before the FTL; hookFTL leaves cfg.FTL.Hooks nil when
+	// telemetry is disabled.
+	if cfg.Telemetry != nil {
+		s.tel = telemetry.New(*cfg.Telemetry)
+		s.dieWatch = &resourceWatch{}
+		s.chanWatch = &resourceWatch{}
+		cfg.FTL.Hooks = s.ftlHooks()
+	}
+	f, err := ftl.New(cfg.FTL)
+	if err != nil {
+		return nil, err
+	}
+	s.f = f
 	// Every resource gets its own scheduler instance: schedulers hold the
 	// queue state.
 	sched := cfg.schedulerConfig()
 	s.dies = make([]*sim.Resource, cfg.Geometry.Dies())
 	for i := range s.dies {
 		s.dies[i] = sim.NewResourceScheduled(s.engine, fmt.Sprintf("die%d", i), sched.New())
+		if s.dieWatch != nil {
+			s.dies[i].SetHook(s.dieWatch)
+		}
 	}
 	s.channels = make([]*sim.Resource, cfg.Geometry.Channels)
 	for i := range s.channels {
 		s.channels[i] = sim.NewResourceScheduled(s.engine, fmt.Sprintf("ch%d", i), sched.New())
+		if s.chanWatch != nil {
+			s.channels[i].SetHook(s.chanWatch)
+		}
 	}
 	return s, nil
 }
+
+// Telemetry exposes the device's recorder (nil when disabled).
+func (s *SSD) Telemetry() *telemetry.Recorder { return s.tel }
 
 // Engine exposes the simulation engine (tests and advanced drivers).
 func (s *SSD) Engine() *sim.Engine { return s.engine }

@@ -1,0 +1,142 @@
+package ssd
+
+// Telemetry wiring for the staged request path. The recorder itself lives
+// in internal/telemetry; this file adapts the device's stages to it:
+//
+//   - resourceWatch turns sim.ResourceHook events (scheduler queueing and
+//     grants on dies and channels) into per-interval aggregates.
+//   - ftlHooks turns FTL operation callbacks (reads, programs, GC,
+//     refresh) into activity counters.
+//   - recordSample snapshots everything into one telemetry.Sample; the
+//     engine's Pulse drives it at Config.Telemetry.MetricsInterval.
+//
+// All of it is inert when telemetry is disabled: s.tel is nil, the FTL
+// hooks are never installed, and the sampler is never armed.
+
+import (
+	"time"
+
+	"idaflash/internal/ftl"
+	"idaflash/internal/sim"
+	"idaflash/internal/telemetry"
+)
+
+// resourceWatch aggregates scheduler-queue pressure between samples: the
+// deepest queue seen and the summed queueing delay of granted waiters.
+// One instance watches all resources of a kind (all dies or all channels).
+type resourceWatch struct {
+	maxQueue int
+	wait     time.Duration
+}
+
+func (w *resourceWatch) ResourceEnqueued(_ *sim.Resource, _ sim.Priority, depth int) {
+	if depth > w.maxQueue {
+		w.maxQueue = depth
+	}
+}
+
+func (w *resourceWatch) ResourceGranted(_ *sim.Resource, _ sim.Priority, wait, _ time.Duration) {
+	w.wait += wait
+}
+
+// take returns the interval's aggregates and resets them.
+func (w *resourceWatch) take() (maxQueue int, wait time.Duration) {
+	maxQueue, wait = w.maxQueue, w.wait
+	w.maxQueue, w.wait = 0, 0
+	return
+}
+
+// ftlHooks adapts the FTL's operation callbacks to the recorder's activity
+// counters. Only called when telemetry is enabled.
+func (s *SSD) ftlHooks() *ftl.Hooks {
+	return &ftl.Hooks{
+		Read:  func(info ftl.ReadInfo) { s.tel.CountRead(info.Senses, info.IDA) },
+		Write: func(ftl.PageProgram) { s.tel.CountWrite() },
+		GC:    func(job *ftl.GCJob) { s.tel.CountGC(len(job.Moves)) },
+		Refresh: func(job *ftl.RefreshJob) {
+			s.tel.CountRefresh(len(job.Moves), job.AdjustedWLs, job.IDAApplied)
+		},
+	}
+}
+
+// armSampler starts the fixed-interval time series for the timed phase
+// beginning now. It discards activity accumulated during the untimed
+// prefill/warmup replay and rebases the cumulative busy-time trackers so
+// the first interval reports only its own deltas. No-op when the time
+// series is disabled.
+func (s *SSD) armSampler() {
+	iv := s.tel.Interval()
+	if iv <= 0 {
+		return
+	}
+	s.tel.TakeActivity()
+	var dieBusy, chanBusy time.Duration
+	for _, d := range s.dies {
+		dieBusy += d.Stats().BusyTime
+	}
+	s.lastPerChanBusy = make([]time.Duration, len(s.channels))
+	for i, c := range s.channels {
+		b := c.Stats().BusyTime
+		s.lastPerChanBusy[i] = b
+		chanBusy += b
+	}
+	s.lastDieBusy, s.lastChanBusy = dieBusy, chanBusy
+	s.lastGCBusy, s.lastRefreshBusy = s.gcBusy, s.refreshBusy
+	s.dieWatch.take()
+	s.chanWatch.take()
+	s.engine.Pulse(iv, s.recordSample)
+}
+
+// recordSample snapshots the device at one sampling instant: gauges read
+// the current state, busy durations are deltas since the previous sample.
+func (s *SSD) recordSample(now sim.Time) {
+	u := s.f.Usage()
+	sm := telemetry.Sample{
+		At:            now,
+		HostInFlight:  s.adm.inFlight,
+		HostQueued:    len(s.adm.queue),
+		FreeBlocks:    u.Free,
+		ActiveBlocks:  u.Active,
+		InUseBlocks:   u.InUse,
+		EmptyBlocks:   u.Empty,
+		IDABlocks:     u.IDABlocks,
+		IDAValidPages: u.IDAValidPages,
+		MappedPages:   s.f.MappedPages(),
+		Activity:      s.tel.TakeActivity(),
+	}
+	var dieBusy time.Duration
+	for _, d := range s.dies {
+		if d.Busy() {
+			sm.DiesBusy++
+		}
+		sm.DieQueued += d.QueueLen()
+		dieBusy += d.Stats().BusyTime
+	}
+	sm.DieBusy = dieBusy - s.lastDieBusy
+	s.lastDieBusy = dieBusy
+
+	sm.PerChannelBusy = make([]time.Duration, len(s.channels))
+	var chanBusy time.Duration
+	for i, c := range s.channels {
+		if c.Busy() {
+			sm.ChannelsBusy++
+		}
+		sm.ChanQueued += c.QueueLen()
+		b := c.Stats().BusyTime
+		chanBusy += b
+		sm.PerChannelBusy[i] = b - s.lastPerChanBusy[i]
+		s.lastPerChanBusy[i] = b
+	}
+	sm.ChanBusy = chanBusy - s.lastChanBusy
+	s.lastChanBusy = chanBusy
+
+	sm.DieMaxQueue, sm.DieWait = s.dieWatch.take()
+	sm.ChanMaxQueue, sm.ChanWait = s.chanWatch.take()
+
+	sm.GCBusy = s.gcBusy - s.lastGCBusy
+	s.lastGCBusy = s.gcBusy
+	sm.RefreshBusy = s.refreshBusy - s.lastRefreshBusy
+	s.lastRefreshBusy = s.refreshBusy
+
+	s.tel.Record(sm)
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file serializes recorded spans in the Chrome trace-event format
+// ("JSON Array Format" with complete events), which Perfetto and
+// chrome://tracing load directly: each device is a process, each request a
+// thread, and each request-path phase a complete ("X") slice. Timestamps
+// are microseconds (the format's unit), emitted as shortest-round-trip
+// floats so nanosecond simulation instants survive.
+
+// traceEvent is one trace-event entry. Field order is fixed by the struct,
+// so marshaling is deterministic.
+type traceEvent struct {
+	Name string     `json:"name"`
+	Ph   string     `json:"ph"`
+	Ts   float64    `json:"ts"`
+	Dur  *float64   `json:"dur,omitempty"`
+	Pid  int        `json:"pid"`
+	Tid  uint64     `json:"tid"`
+	Args *traceArgs `json:"args,omitempty"`
+}
+
+// traceArgs carries the per-event metadata; zero fields are omitted.
+type traceArgs struct {
+	Name  string `json:"name,omitempty"`
+	Bytes int    `json:"bytes,omitempty"`
+	ID    uint64 `json:"id,omitempty"`
+}
+
+// traceFile is the top-level trace-event JSON document.
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// micros converts a simulated instant/duration to trace microseconds.
+func micros(ns int64) float64 { return float64(ns) / 1e3 }
+
+// TraceEventCount returns the number of trace events the export would
+// serialize (tests and capacity planning).
+func (e *Export) TraceEventCount() int {
+	n := 0
+	for i := range e.Spans {
+		n += 1 + len(e.Spans[i].Phases)
+	}
+	return n
+}
+
+// WriteTrace serializes the export's spans as Chrome/Perfetto trace-event
+// JSON. Each span becomes one request-level slice plus one slice per
+// phase, all on thread span.ID of process span.Device; a metadata event
+// names each device process. Output is deterministic for deterministic
+// inputs.
+func (e *Export) WriteTrace(w io.Writer) error {
+	if e == nil {
+		return fmt.Errorf("telemetry: nil export")
+	}
+	doc := traceFile{
+		DisplayTimeUnit: "ms",
+		TraceEvents:     make([]traceEvent, 0, e.TraceEventCount()+8),
+	}
+	seen := map[int]bool{}
+	for i := range e.Spans {
+		sp := &e.Spans[i]
+		if !seen[sp.Device] {
+			seen[sp.Device] = true
+			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+				Name: "process_name",
+				Ph:   "M",
+				Pid:  sp.Device,
+				Args: &traceArgs{Name: fmt.Sprintf("dev%d", sp.Device)},
+			})
+		}
+		name := "write"
+		if sp.Read {
+			name = "read"
+		}
+		dur := micros(int64(sp.Completed - sp.Arrived))
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: name,
+			Ph:   "X",
+			Ts:   micros(int64(sp.Arrived)),
+			Dur:  &dur,
+			Pid:  sp.Device,
+			Tid:  sp.ID,
+			Args: &traceArgs{Bytes: sp.Bytes, ID: sp.ID},
+		})
+		for _, ph := range sp.Phases {
+			d := micros(int64(ph.End - ph.Start))
+			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+				Name: ph.Stage.String(),
+				Ph:   "X",
+				Ts:   micros(int64(ph.Start)),
+				Dur:  &d,
+				Pid:  sp.Device,
+				Tid:  sp.ID,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteTraceFile writes the trace-event JSON to a file.
+func (e *Export) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := e.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
