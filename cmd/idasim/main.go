@@ -4,14 +4,24 @@
 // Usage:
 //
 //	idasim -workload usr_1 [-requests N] [-ida] [-error 0.2]
-//	       [-deltatr 50us] [-bits 3] [-late]
+//	       [-deltatr 50us] [-bits 3] [-late | -pe-cycles N -retention-days D]
 //	       [-sched read-first|fifo|age-aware] [-devices N] [-stripekb K]
+//	       [-parity] [-faults scenario.json]
 //	       [-trace-out t.json] [-metrics-out m.csv] [-metrics-interval 100ms]
 //	       [-trace-sample N] [-pprof cpu.out]
 //	idasim -trace trace.csv [-ida] ...
 //
 // With -trace, the file is parsed in the MSR Cambridge CSV format
 // (Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime).
+//
+// -faults loads a deterministic fault scenario (JSON; see internal/faults
+// and examples/faults/) injecting wear-dependent program/erase failures,
+// die/channel outages, and transient read faults; the run reports the
+// recovery counters. -parity (with -devices >= 3) rotates a RAID-5-style
+// parity stripe so reads failed by the scenario are rebuilt from peer
+// devices in a degraded-mode pass. -pe-cycles/-retention-days derive the
+// ECC read-retry regime from the RBER wear curve instead of -late's coarse
+// phase label.
 //
 // -trace-out writes the sampled request lifecycles as Chrome trace-event
 // JSON, loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing;
@@ -44,10 +54,14 @@ func main() {
 		deltaTR   = flag.Duration("deltatr", 0, "override delta-tR (e.g. 70us); 0 keeps the device default")
 		bits      = flag.Int("bits", 3, "bits per cell: 2 (MLC), 3 (TLC), 4 (QLC)")
 		late      = flag.Bool("late", false, "simulate the late SSD lifetime (LDPC read retries)")
+		peCycles  = flag.Int("pe-cycles", 0, "derive the ECC retry regime from this many P/E cycles of wear (RBER curve; excludes -late)")
+		retention = flag.Float64("retention-days", 0, "retention age in days for the RBER-derived ECC regime (with -pe-cycles)")
 		sched     = flag.String("sched", "", "die/channel scheduler: read-first (default), fifo, or age-aware")
 		maxWait   = flag.Duration("sched-maxwait", 0, "age-aware starvation bound; 0 uses the built-in default")
 		devices   = flag.Int("devices", 1, "stripe the workload across this many independent devices")
 		stripeKB  = flag.Int("stripekb", 0, "array stripe unit in KiB; 0 uses the default (64)")
+		parity    = flag.Bool("parity", false, "rotate a RAID-5-style parity stripe across the array (needs -devices >= 3)")
+		faultsIn  = flag.String("faults", "", "run under the fault scenario in this JSON file (see examples/faults/)")
 		perDevice = flag.Bool("per-device", false, "with -devices > 1, print one summary per member device")
 		asJSON    = flag.Bool("json", false, "emit the full Results struct as JSON")
 
@@ -68,6 +82,16 @@ func main() {
 	if *late {
 		sys.Lifetime = idaflash.PhaseLate
 	}
+	if *peCycles < 0 || *retention < 0 {
+		fmt.Fprintln(os.Stderr, "-pe-cycles and -retention-days must be non-negative")
+		os.Exit(1)
+	}
+	if *late && (*peCycles > 0 || *retention > 0) {
+		fmt.Fprintln(os.Stderr, "-late and -pe-cycles/-retention-days are mutually exclusive")
+		os.Exit(1)
+	}
+	sys.PECycles = *peCycles
+	sys.RetentionDays = *retention
 	policy, err := idaflash.ParseSchedulerPolicy(*sched)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -81,6 +105,19 @@ func main() {
 	}
 	sys.Devices = *devices
 	sys.StripeKB = *stripeKB
+	if *parity && *devices < 3 {
+		fmt.Fprintf(os.Stderr, "-parity needs -devices >= 3, have %d\n", *devices)
+		os.Exit(1)
+	}
+	sys.Parity = *parity
+	if *faultsIn != "" {
+		sc, err := idaflash.LoadFaultScenario(*faultsIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sys.Faults = sc
+	}
 	if *traceOut != "" || *metricsOut != "" {
 		tc := idaflash.TelemetryConfig{SampleEvery: *traceSample}
 		if *metricsOut != "" {
@@ -110,8 +147,9 @@ func main() {
 
 	var res idaflash.Results
 	var per []idaflash.Results
+	var deg *idaflash.DegradedStats
 	if *tracePath != "" {
-		res, per, err = runTrace(*tracePath, sys)
+		res, per, deg, err = runTrace(*tracePath, sys)
 	} else {
 		var p idaflash.Profile
 		p, err = idaflash.ProfileByName(*name, *requests)
@@ -120,6 +158,9 @@ func main() {
 				var ar idaflash.ArrayResults
 				ar, err = idaflash.RunArrayWorkload(p, sys)
 				res, per = ar.Combined, ar.PerDevice
+				if ar.Parity {
+					deg = &ar.Degraded
+				}
 			} else {
 				res, err = idaflash.RunWorkload(p, sys)
 			}
@@ -151,8 +192,9 @@ func main() {
 			Scheduler string
 			Devices   int
 			idaflash.Results
-			PerDevice []idaflash.Results `json:",omitempty"`
-		}{sys.Name, string(policy), max(1, sys.Devices), res, nil}
+			Degraded  *idaflash.DegradedStats `json:",omitempty"`
+			PerDevice []idaflash.Results      `json:",omitempty"`
+		}{sys.Name, string(policy), max(1, sys.Devices), res, deg, nil}
 		if *perDevice {
 			out.PerDevice = per
 		}
@@ -163,6 +205,10 @@ func main() {
 		return
 	}
 	report(sys, policy, res)
+	if deg != nil {
+		fmt.Printf("degraded reads:       %d rebuilt, %d lost (%d rebuild requests)\n",
+			deg.DegradedExtents, deg.LostExtents, deg.ReconRequests)
+	}
 	if *perDevice {
 		for d, r := range per {
 			fmt.Printf("\n--- device %d ---\n", d)
@@ -172,15 +218,15 @@ func main() {
 }
 
 // runTrace replays an MSR CSV file on a device (or array) sized for it.
-func runTrace(path string, sys idaflash.System) (idaflash.Results, []idaflash.Results, error) {
+func runTrace(path string, sys idaflash.System) (idaflash.Results, []idaflash.Results, *idaflash.DegradedStats, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return idaflash.Results{}, nil, err
+		return idaflash.Results{}, nil, nil, err
 	}
 	defer f.Close()
 	tr, err := workload.ParseMSR(path, f)
 	if err != nil {
-		return idaflash.Results{}, nil, err
+		return idaflash.Results{}, nil, nil, err
 	}
 	stats := tr.Stats()
 	// Build the device around the trace footprint; BuildConfig handles
@@ -197,35 +243,54 @@ func runTrace(path string, sys idaflash.System) (idaflash.Results, []idaflash.Re
 		p.MeanReadKB = 8
 	}
 	if sys.Devices > 1 {
-		// Size each member for its stripe share of the footprint.
+		// Size each member for its stripe share of the footprint (its
+		// data share plus rotated parity comes to 1/(devices-1) with
+		// parity enabled).
+		shares := sys.Devices
+		if sys.Parity {
+			shares = sys.Devices - 1
+		}
 		pdev := p
-		pdev.FootprintMB = p.FootprintMB/float64(sys.Devices) + 1
+		pdev.FootprintMB = p.FootprintMB/float64(shares) + 1
 		cfg, _, err := idaflash.BuildConfig(pdev, sys)
 		if err != nil {
-			return idaflash.Results{}, nil, err
+			return idaflash.Results{}, nil, nil, err
 		}
-		arr, err := array.New(array.Config{Devices: sys.Devices, StripeKB: sys.StripeKB, Device: cfg})
+		arr, err := array.New(array.Config{
+			Devices: sys.Devices, StripeKB: sys.StripeKB, Parity: sys.Parity, Device: cfg,
+		})
 		if err != nil {
-			return idaflash.Results{}, nil, err
+			return idaflash.Results{}, nil, nil, err
 		}
 		res, err := arr.Run(tr, ssd.RunOptions{})
-		return res.Combined, res.PerDevice, err
+		var deg *idaflash.DegradedStats
+		if res.Parity {
+			deg = &res.Degraded
+		}
+		return res.Combined, res.PerDevice, deg, err
 	}
 	cfg, _, err := idaflash.BuildConfig(p, sys)
 	if err != nil {
-		return idaflash.Results{}, nil, err
+		return idaflash.Results{}, nil, nil, err
 	}
 	dev, err := idaflash.NewSSD(cfg)
 	if err != nil {
-		return idaflash.Results{}, nil, err
+		return idaflash.Results{}, nil, nil, err
 	}
 	res, err := dev.Run(tr, ssd.RunOptions{})
-	return res, nil, err
+	return res, nil, nil, err
 }
 
 func report(sys idaflash.System, policy idaflash.SchedulerPolicy, r idaflash.Results) {
 	fmt.Printf("system:               %s\n", sys.Name)
 	fmt.Printf("scheduler:            %s\n", policy)
+	if sys.Faults != nil {
+		label := sys.Faults.Name
+		if label == "" {
+			label = "(unnamed)"
+		}
+		fmt.Printf("fault scenario:       %s\n", label)
+	}
 	if sys.Devices > 1 {
 		stripe := sys.StripeKB
 		if stripe == 0 {
@@ -249,5 +314,14 @@ func report(sys idaflash.System, policy idaflash.SchedulerPolicy, r idaflash.Res
 	fmt.Printf("reads from IDA WLs:   %d of %d\n", r.FTL.ReadsFromIDA, r.FTL.HostReads)
 	fmt.Printf("GC jobs:              %d (%d erases)\n", r.FTL.GCJobs, r.FTL.Erases)
 	fmt.Printf("in-use blocks (peak): %d of %d (%d IDA at peak)\n", r.PeakInUse, r.Usage.Total, r.PeakIDA)
+	if sys.Faults != nil {
+		fmt.Printf("fault retries:        %d read, %d write (%d timeouts, %d latency spikes)\n",
+			r.Faults.ReadRetries, r.Faults.WriteRetries, r.Faults.ReadTimeouts, r.Faults.LatencySpikes)
+		fmt.Printf("failed pages:         %d read, %d write (%d/%d host requests affected)\n",
+			r.Faults.FailedReadPages, r.Faults.FailedWritePages,
+			r.Faults.FailedReadRequests, r.Faults.FailedWriteRequests)
+		fmt.Printf("grown bad blocks:     %d retired (%d program failures remapped, %d erase failures)\n",
+			r.FTL.RetiredBlocks, r.FTL.ProgramFailures, r.FTL.EraseFailures)
+	}
 	fmt.Printf("simulated events:     %d\n", r.Events)
 }

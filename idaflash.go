@@ -34,6 +34,7 @@ import (
 	"idaflash/internal/array"
 	"idaflash/internal/coding"
 	"idaflash/internal/ecc"
+	"idaflash/internal/faults"
 	"idaflash/internal/flash"
 	"idaflash/internal/ftl"
 	"idaflash/internal/sim"
@@ -89,6 +90,13 @@ type (
 	ArrayConfig = array.Config
 	// ArrayResults pairs merged and per-device array measurements.
 	ArrayResults = array.Results
+	// FaultScenario is a declarative, replayable fault campaign (wear
+	// failures, die/channel outages, transient read faults).
+	FaultScenario = faults.Scenario
+	// FaultStats accounts the host-path fault recovery of one device.
+	FaultStats = ssd.FaultStats
+	// DegradedStats accounts an array's post-run parity reconstruction.
+	DegradedStats = array.DegradedStats
 	// TelemetryConfig parameterizes the request-lifecycle recorder (span
 	// sampling, ring capacity, time-series interval).
 	TelemetryConfig = telemetry.Config
@@ -117,6 +125,10 @@ func ParseSchedulerPolicy(s string) (SchedulerPolicy, error) { return sim.ParseP
 
 // NewArray builds a striped multi-device array.
 func NewArray(cfg ArrayConfig) (*Array, error) { return array.New(cfg) }
+
+// LoadFaultScenario parses a fault scenario from a JSON file (the format
+// behind cmd/idasim's -faults flag). Unknown fields are rejected.
+func LoadFaultScenario(path string) (*FaultScenario, error) { return faults.Load(path) }
 
 // Lifetime phases (Figure 11).
 const (
@@ -184,7 +196,16 @@ type System struct {
 	// (Table V), 4 for QLC (the paper's future-work extension).
 	BitsPerCell int
 	// Lifetime selects the ECC regime (Figure 11); default early.
+	// Mutually exclusive with PECycles/RetentionDays.
 	Lifetime LifetimePhase
+	// PECycles and RetentionDays, when either is positive, derive the ECC
+	// retry regime from the RBER wear curve (ecc.RBERCurve.ParamsAt)
+	// instead of the coarse early/late phase label: the hard-decode
+	// failure probability grows as the modeled raw bit error rate at this
+	// wear level and retention age crosses the hard-decode limit. Cannot
+	// be combined with Lifetime = PhaseLate.
+	PECycles      int
+	RetentionDays float64
 	// OnlyInvalid restricts IDA to wordlines that already lost a lower
 	// page (Table I cases 2-4, skipping the case-1 conversion of
 	// fully-valid wordlines). Ablation knob.
@@ -216,6 +237,17 @@ type System struct {
 	// StripeKB is the array stripe unit in KiB; zero uses the array
 	// default (64). Only meaningful with Devices > 1.
 	StripeKB int
+	// Parity rotates a RAID-5-style parity stripe across the array so
+	// reads that fail outright under a fault scenario are reconstructed
+	// from the surviving devices in a degraded-mode pass after the run.
+	// Requires Devices >= 3.
+	Parity bool
+	// Faults, when non-nil, runs the workload under a deterministic fault
+	// scenario: wear-dependent program/erase failures (grown bad blocks,
+	// remapped and retired by the FTL), die/channel outages, and transient
+	// read faults, all recovered through bounded host-path retries.
+	// Results.Faults and Results.FTL carry the recovery accounting.
+	Faults *FaultScenario
 	// Telemetry, when non-nil, attaches the request-lifecycle recorder
 	// to every device built for this system: sampled per-request spans
 	// (exportable as Perfetto trace JSON) and, with a positive
@@ -283,8 +315,27 @@ func BuildConfig(p Profile, sys System) (SSDConfig, Profile, error) {
 		timing.VoltAdjust = timing.Program / 2
 	}
 
-	eccParams := ecc.PaperParams(sys.Lifetime)
-	eccParams.DecodeLatency = timing.ECCDecode
+	if sys.PECycles < 0 {
+		return SSDConfig{}, p, fmt.Errorf("idaflash: PECycles %d must be non-negative", sys.PECycles)
+	}
+	if sys.RetentionDays < 0 {
+		return SSDConfig{}, p, fmt.Errorf("idaflash: RetentionDays %v must be non-negative", sys.RetentionDays)
+	}
+	var eccParams ECCParams
+	if sys.PECycles > 0 || sys.RetentionDays > 0 {
+		if sys.Lifetime != PhaseEarly {
+			return SSDConfig{}, p, fmt.Errorf(
+				"idaflash: PECycles/RetentionDays and Lifetime=%v are mutually exclusive", sys.Lifetime)
+		}
+		// Derive the retry regime from the wear curve instead of the
+		// early/late phase label; zero hard limit means the Table II
+		// default (0.004).
+		eccParams = ecc.DefaultRBERCurve().ParamsAt(
+			sys.PECycles, sys.RetentionDays, 0, timing.ECCDecode)
+	} else {
+		eccParams = ecc.PaperParams(sys.Lifetime)
+		eccParams.DecodeLatency = timing.ECCDecode
+	}
 
 	cfg := SSDConfig{
 		Geometry: geom,
@@ -310,6 +361,7 @@ func BuildConfig(p Profile, sys System) (SSDConfig, Profile, error) {
 		Scheduler:           sys.Scheduler,
 		SchedulerMaxWait:    sys.SchedulerMaxWait,
 		Seed:                p.Seed,
+		Faults:              sys.Faults,
 	}
 	if sys.Telemetry != nil {
 		// Copy so callers can reuse one System across runs without the
@@ -325,7 +377,7 @@ func BuildConfig(p Profile, sys System) (SSDConfig, Profile, error) {
 // description, returning the measurements. Two calls with identical
 // arguments produce identical results.
 func RunWorkload(p Profile, sys System) (Results, error) {
-	if sys.Devices > 1 {
+	if sys.Devices > 1 || sys.Parity {
 		res, err := RunArrayWorkload(p, sys)
 		return res.Combined, err
 	}
@@ -346,10 +398,19 @@ func RunArrayWorkload(p Profile, sys System) (ArrayResults, error) {
 	if err != nil {
 		return ArrayResults{}, err
 	}
-	// Each member device holds ~1/devices of the striped footprint; size
-	// its geometry for that share (plus a stripe of rounding slack).
+	// Each member device holds ~1/devices of the striped footprint — or,
+	// with parity, 1/(devices-1) of it, since the rotated parity units
+	// bring every member's share up to a data stripe's worth. Size the
+	// geometry for that share (plus a stripe of rounding slack).
 	pdev := np
-	pdev.FootprintMB = np.FootprintMB/float64(devices) + 1
+	shares := devices
+	if sys.Parity {
+		if devices < 3 {
+			return ArrayResults{}, fmt.Errorf("idaflash: Parity needs Devices >= 3, have %d", devices)
+		}
+		shares = devices - 1
+	}
+	pdev.FootprintMB = np.FootprintMB/float64(shares) + 1
 	cfg, _, err := BuildConfig(pdev, sys)
 	if err != nil {
 		return ArrayResults{}, err
@@ -362,7 +423,9 @@ func RunArrayWorkload(p Profile, sys System) (ArrayResults, error) {
 	if err != nil {
 		return ArrayResults{}, err
 	}
-	arr, err := array.New(array.Config{Devices: devices, StripeKB: sys.StripeKB, Device: cfg})
+	arr, err := array.New(array.Config{
+		Devices: devices, StripeKB: sys.StripeKB, Parity: sys.Parity, Device: cfg,
+	})
 	if err != nil {
 		return ArrayResults{}, err
 	}

@@ -38,6 +38,11 @@ type Config struct {
 	// devices in chunks of this size. Zero means DefaultStripeKB. It
 	// should be a multiple of the device page size for aligned splits.
 	StripeKB int
+	// Parity rotates a RAID-5-style parity stripe across the devices
+	// (see parity.go): N-1 data units per row plus one parity unit, so
+	// reads of a failed device are reconstructed from its peers in
+	// degraded mode after the run. Requires at least 3 devices.
+	Parity bool
 	// Device is the per-device configuration template. Each device gets
 	// a decorrelated Seed (and FTL seed) derived from it.
 	Device ssd.Config
@@ -52,6 +57,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.StripeKB == 0 {
 		c.StripeKB = DefaultStripeKB
+	}
+	if c.Parity && c.Devices < 3 {
+		return c, fmt.Errorf("array: Parity needs at least 3 devices, have %d", c.Devices)
 	}
 	return c, nil
 }
@@ -76,6 +84,11 @@ func New(cfg Config) (*Array, error) {
 		dc := cfg.Device
 		dc.Seed += int64(i) * seedStep
 		dc.FTL.Seed += int64(i) * seedStep
+		if dc.Faults != nil {
+			// Outage filtering is by array member index, so each device
+			// must know which member it is.
+			dc.FaultDevice = i
+		}
 		if cfg.Device.Telemetry != nil {
 			// Each device records into its own stream, tagged with the
 			// member index; Merge interleaves them deterministically.
@@ -159,6 +172,11 @@ type Results struct {
 	// Devices and StripeKB echo the topology that produced the results.
 	Devices  int
 	StripeKB int
+	// Parity reports whether the array ran with the rotated parity
+	// stripe; Degraded accounts its post-run reconstruction of failed
+	// reads (zero without parity or without faults).
+	Parity   bool
+	Degraded DegradedStats
 }
 
 // Run splits the trace (and any preamble) across the devices, runs every
@@ -169,10 +187,14 @@ func (a *Array) Run(tr *workload.Trace, opts ssd.RunOptions) (Results, error) {
 	if err := tr.Validate(); err != nil {
 		return Results{}, err
 	}
-	subs := Split(tr, a.cfg.Devices, a.unit)
+	split := Split
+	if a.cfg.Parity {
+		split = SplitParity
+	}
+	subs := split(tr, a.cfg.Devices, a.unit)
 	var pres []*workload.Trace
 	if opts.Preamble != nil {
-		pres = Split(opts.Preamble, a.cfg.Devices, a.unit)
+		pres = split(opts.Preamble, a.cfg.Devices, a.unit)
 	}
 	per := make([]ssd.Results, len(a.devs))
 	errs := make([]error, len(a.devs))
@@ -201,12 +223,29 @@ func (a *Array) Run(tr *workload.Trace, opts ssd.RunOptions) (Results, error) {
 	if err := errors.Join(errs...); err != nil {
 		return Results{}, err
 	}
-	return Results{
+	res := Results{
 		Combined:  Merge(tr.Name, per),
 		PerDevice: per,
 		Devices:   a.cfg.Devices,
 		StripeKB:  a.cfg.StripeKB,
-	}, nil
+		Parity:    a.cfg.Parity,
+	}
+	// Degraded-mode recovery: with parity enabled, reads the fault
+	// scenario failed outright are rebuilt from the peers' shares of the
+	// same rows. The pass runs after the measured phase (per-device
+	// metrics above are already snapshotted) and is itself deterministic.
+	if a.cfg.Parity {
+		failed := make([][]ssd.FailedExtent, len(a.devs))
+		any := false
+		for d := range a.devs {
+			failed[d] = a.devs[d].FailedReadExtents()
+			any = any || len(failed[d]) > 0
+		}
+		if any {
+			a.reconstruct(failed, &res.Degraded)
+		}
+	}
+	return res, nil
 }
 
 // Merge combines per-device results into one array-level ssd.Results (see
@@ -251,6 +290,7 @@ func Merge(name string, per []ssd.Results) ssd.Results {
 		c.GCBusy += r.GCBusy
 		c.RefreshBusy += r.RefreshBusy
 		c.Stages = c.Stages.Add(r.Stages)
+		c.Faults = c.Faults.Add(r.Faults)
 		c.Events += r.Events
 		if r.Events > 0 {
 			c.MeanDieUtilization += r.MeanDieUtilization

@@ -1,0 +1,141 @@
+package ftl
+
+import (
+	"testing"
+
+	"idaflash/internal/flash"
+)
+
+// scriptedFaults is a deterministic FaultModel for tests: it fails the next
+// N program draws and, optionally, every erase draw.
+type scriptedFaults struct {
+	failNextPrograms int
+	failErases       bool
+	programDraws     int
+	eraseDraws       int
+}
+
+func (s *scriptedFaults) ProgramFails(_ flash.PageAddr, _ int) bool {
+	s.programDraws++
+	if s.failNextPrograms > 0 {
+		s.failNextPrograms--
+		return true
+	}
+	return false
+}
+
+func (s *scriptedFaults) EraseFails(_ flash.BlockAddr, _ int) bool {
+	s.eraseDraws++
+	return s.failErases
+}
+
+func TestProgramFailureRemapsWrite(t *testing.T) {
+	fm := &scriptedFaults{failNextPrograms: 2}
+	f := mustFTL(t, Options{Geometry: tinyGeom(), Faults: fm})
+	prog, err := f.Write(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first two program attempts failed; the write remapped twice and
+	// landed on the third block.
+	if prog.FailedPrograms != 2 {
+		t.Errorf("FailedPrograms = %d, want 2", prog.FailedPrograms)
+	}
+	if got := f.Stats().ProgramFailures; got != 2 {
+		t.Errorf("stats.ProgramFailures = %d, want 2", got)
+	}
+	ps := f.planes[0]
+	if !ps.blocks[0].bad || !ps.blocks[1].bad {
+		t.Error("failed blocks not marked grown bad")
+	}
+	if ps.active != 2 {
+		t.Errorf("active block = %d, want 2 (remap target)", ps.active)
+	}
+	if _, ok := f.Read(0); !ok {
+		t.Fatal("LPN 0 unreadable after remap")
+	}
+	checkInvariants(t, f)
+
+	// The grown-bad blocks are empty, so GC reclaims them next — and their
+	// erase retires them instead of returning them to the free list.
+	f.opts.GCFreeBlocks = tinyGeom().BlocksPerPlane
+	jobs := f.CollectGC(0)
+	if len(jobs) != 2 {
+		t.Fatalf("GC reclaimed %d blocks, want the 2 grown-bad ones", len(jobs))
+	}
+	st := f.Stats()
+	if st.RetiredBlocks != 2 {
+		t.Errorf("stats.RetiredBlocks = %d, want 2", st.RetiredBlocks)
+	}
+	if st.Erases != 0 {
+		t.Errorf("stats.Erases = %d; retiring erases must not count as completed", st.Erases)
+	}
+	if st.EraseFailures != 0 {
+		t.Errorf("stats.EraseFailures = %d; bad blocks retire before the erase draw", st.EraseFailures)
+	}
+	if fm.eraseDraws != 0 {
+		t.Errorf("erase fault drawn %d times for already-bad blocks", fm.eraseDraws)
+	}
+	for _, blk := range ps.free {
+		if blk == 0 || blk == 1 {
+			t.Fatalf("retired block %d back on the free list", blk)
+		}
+	}
+	u := f.Usage()
+	if u.Retired != 2 {
+		t.Errorf("Usage().Retired = %d, want 2", u.Retired)
+	}
+	if _, ok := f.Read(0); !ok {
+		t.Fatal("LPN 0 lost after retirement")
+	}
+	checkInvariants(t, f)
+}
+
+func TestEraseFailureRetires(t *testing.T) {
+	fm := &scriptedFaults{failErases: true}
+	f := mustFTL(t, Options{Geometry: tinyGeom(), Faults: fm})
+	// Fill two blocks, then invalidate the first one completely so GC has
+	// a free victim whose erase will fail.
+	for i := LPN(0); i < 24; i++ {
+		if _, err := f.Write(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := LPN(0); i < 12; i++ {
+		if _, err := f.Write(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.opts.GCFreeBlocks = 6
+	freeBefore := f.FreeBlocks(0)
+	f.CollectGC(0)
+	st := f.Stats()
+	if st.EraseFailures == 0 {
+		t.Fatal("no erase failure recorded")
+	}
+	if st.RetiredBlocks != st.EraseFailures {
+		t.Errorf("RetiredBlocks = %d, EraseFailures = %d; every failed erase must retire",
+			st.RetiredBlocks, st.EraseFailures)
+	}
+	if st.Erases != 0 {
+		t.Errorf("stats.Erases = %d with every erase failing", st.Erases)
+	}
+	if got := f.FreeBlocks(0); got != freeBefore {
+		t.Errorf("free blocks %d -> %d; failed erases must not replenish the free list",
+			freeBefore, got)
+	}
+	if u := f.Usage(); uint64(u.Retired) != st.RetiredBlocks {
+		t.Errorf("Usage().Retired = %d, want %d", u.Retired, st.RetiredBlocks)
+	}
+	// Retired blocks are out of the GC candidate set: another pass finds
+	// nothing new to reclaim (remaining blocks are fully valid).
+	if jobs := f.CollectGC(0); len(jobs) != 0 {
+		t.Errorf("second GC pass reclaimed %d blocks, want 0", len(jobs))
+	}
+	for i := LPN(0); i < 24; i++ {
+		if _, ok := f.Read(i); !ok {
+			t.Fatalf("LPN %d lost", i)
+		}
+	}
+	checkInvariants(t, f)
+}

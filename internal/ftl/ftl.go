@@ -28,6 +28,20 @@ type ppn uint64
 
 const noPPN = ppn(1) << 63
 
+// FaultModel is the FTL's view of a fault injector (internal/faults): it
+// answers, per physical operation, whether the medium fails it. The FTL
+// owns the recovery policy — remap-on-program-failure and erase-failure
+// retirement — while the model owns the failure draws, so scenarios stay
+// replayable. A nil model injects nothing.
+type FaultModel interface {
+	// ProgramFails reports whether programming the page fails, given the
+	// block's erase count (grown bad blocks appear faster on worn blocks).
+	ProgramFails(addr flash.PageAddr, eraseCount int) bool
+	// EraseFails reports whether erasing the block fails, given its erase
+	// count after this erase.
+	EraseFails(addr flash.BlockAddr, eraseCount int) bool
+}
+
 // Hooks receives notifications of FTL-level operations as they are
 // decided, before their timing is charged. The telemetry layer hangs its
 // activity counters here; every field is optional and a nil *Hooks (the
@@ -116,6 +130,9 @@ type Options struct {
 	Seed int64
 	// Hooks observes FTL operations (telemetry); nil disables.
 	Hooks *Hooks
+	// Faults injects media failures (program/erase); nil disables. The
+	// SSD model supplies the per-device injector from its fault scenario.
+	Faults FaultModel
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -166,6 +183,8 @@ type block struct {
 	rmap         []LPN  // reverse map per page index
 	ida          bool   // reprogrammed with the IDA coding
 	refreshed    bool   // already refreshed once this cycle (await reclaim)
+	bad          bool   // a program failed here; retire at the next erase
+	retired      bool   // permanently out of service (grown bad block)
 	// wlKeep[wl] is the kept-page mask of an IDA-reprogrammed wordline,
 	// or 0 for a conventionally-coded wordline.
 	wlKeep []coding.ValidMask

@@ -13,6 +13,9 @@ type MoveOp struct {
 	FromSenses int
 	To         flash.PageAddr
 	LPN        LPN
+	// FailedPrograms counts destination program attempts the fault model
+	// failed before the move stuck (their pulses are still charged).
+	FailedPrograms int
 }
 
 // GCJob describes one completed garbage collection: the victim block, the
@@ -68,8 +71,8 @@ func (f *FTL) collectPlane(pl flash.PlaneID, now sim.Time) (GCJob, bool) {
 	victim := -1
 	var vb *block
 	for blk, b := range ps.blocks {
-		if b == nil || blk == ps.active || b.nextStep == 0 {
-			continue // untouched, erased, or still accepting programs
+		if b == nil || blk == ps.active || b.retired || b.nextStep == 0 {
+			continue // untouched, retired, erased, or still accepting programs
 		}
 		if f.refreshingActive && f.refreshing.Plane == pl && f.refreshing.Block == blk {
 			continue // mid-refresh; the refresh flow owns this block
@@ -116,10 +119,11 @@ func (f *FTL) collectPlane(pl flash.PlaneID, now sim.Time) (GCJob, bool) {
 			panic("ftl: allocation failed during GC: " + err.Error())
 		}
 		job.Moves = append(job.Moves, MoveOp{
-			From:       f.addrOf(src),
-			FromSenses: senses,
-			To:         prog.Addr,
-			LPN:        prog.LPN,
+			From:           f.addrOf(src),
+			FromSenses:     senses,
+			To:             prog.Addr,
+			LPN:            prog.LPN,
+			FailedPrograms: prog.FailedPrograms,
 		})
 	}
 	f.eraseBlock(pl, victim)

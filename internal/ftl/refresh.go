@@ -76,10 +76,14 @@ func (f *FTL) DueRefreshes(now sim.Time) []RefreshJob {
 			}
 			// Keep enough free space in the plane for the moves
 			// this refresh will make. The inline GC may reclaim
-			// this very block (or churn the plane), so re-check
-			// eligibility afterwards.
+			// this very block — and free-list reuse may reopen and
+			// refill it — so re-read the entry and re-check full
+			// eligibility (including age) afterwards; the loop
+			// variable b is stale once GC has run.
 			f.ensureFree(flash.PlaneID(pl), now)
-			if blk == ps.active || b.nextStep == 0 || b.validCount == 0 {
+			b = ps.blocks[blk]
+			if b == nil || blk == ps.active || b.retired || b.nextStep == 0 ||
+				b.validCount == 0 || now-b.programmedAt < f.opts.RefreshPeriod {
 				continue
 			}
 			jobs = append(jobs, f.refreshBlock(flash.PlaneID(pl), blk, now))

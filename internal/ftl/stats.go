@@ -31,6 +31,14 @@ type Stats struct {
 	IDAVerifyReads     uint64
 	IDACorruptedWrites uint64
 	IDAKeptPages       uint64
+
+	// Fault-injection recovery counters (internal/faults scenarios).
+	// ProgramFailures counts failed page programs remapped to another
+	// block; EraseFailures counts erases that failed outright; a block
+	// leaves service (RetiredBlocks) after either kind of failure.
+	ProgramFailures uint64
+	EraseFailures   uint64
+	RetiredBlocks   uint64
 }
 
 // Stats returns a snapshot of the counters.
@@ -61,6 +69,9 @@ func (s Stats) Add(o Stats) Stats {
 	s.IDAVerifyReads += o.IDAVerifyReads
 	s.IDACorruptedWrites += o.IDACorruptedWrites
 	s.IDAKeptPages += o.IDAKeptPages
+	s.ProgramFailures += o.ProgramFailures
+	s.EraseFailures += o.EraseFailures
+	s.RetiredBlocks += o.RetiredBlocks
 	return s
 }
 
@@ -81,6 +92,8 @@ type BlockUsage struct {
 	// blocks — the merge-state page population the telemetry
 	// time-series tracks over refresh cycles.
 	IDAValidPages int
+	// Retired counts grown-bad blocks permanently out of service.
+	Retired int
 }
 
 // Add returns the field-wise sum of two censuses, merging a striped array's
@@ -93,6 +106,7 @@ func (u BlockUsage) Add(o BlockUsage) BlockUsage {
 	u.Empty += o.Empty
 	u.IDABlocks += o.IDABlocks
 	u.IDAValidPages += o.IDAValidPages
+	u.Retired += o.Retired
 	return u
 }
 
@@ -150,6 +164,10 @@ func (f *FTL) Usage() BlockUsage {
 		}
 		for blk, b := range ps.blocks {
 			if b == nil || blk == ps.active {
+				continue
+			}
+			if b.retired {
+				u.Retired++
 				continue
 			}
 			if b.nextStep == 0 {

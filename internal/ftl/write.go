@@ -12,6 +12,9 @@ import (
 type PageProgram struct {
 	Addr flash.PageAddr
 	LPN  LPN
+	// FailedPrograms counts program attempts the fault model failed before
+	// this one stuck; the device model charges their wasted program pulses.
+	FailedPrograms int
 }
 
 // Write maps the LPN to a fresh physical page, invalidating any previous
@@ -21,13 +24,16 @@ type PageProgram struct {
 // experiment rather than a runtime condition to retry.
 func (f *FTL) Write(lpn LPN, now sim.Time) (PageProgram, error) {
 	var p ppn
+	var failed int
 	var err error
 	// CWDP striping with space-aware fallback: a transiently full plane
 	// is skipped in favour of the next one with room.
 	for try := 0; try < len(f.cwdp); try++ {
 		pl := f.nextAllocPlane()
 		f.ensureFree(pl, now)
-		p, err = f.allocate(now, pl)
+		var n int
+		p, n, err = f.claimPage(now, pl)
+		failed += n
 		if err == nil {
 			break
 		}
@@ -45,9 +51,42 @@ func (f *FTL) Write(lpn LPN, now sim.Time) (PageProgram, error) {
 	b.rmap[page] = lpn
 	b.validCount++
 	f.stats.HostWrites++
-	prog := PageProgram{Addr: f.addrOf(p), LPN: lpn}
+	prog := PageProgram{Addr: f.addrOf(p), LPN: lpn, FailedPrograms: failed}
 	f.opts.Hooks.write(prog)
 	return prog, nil
+}
+
+// claimPage allocates the next page of the plane and runs the program past
+// the fault model. A failed program grows the block bad: the block is closed
+// immediately (no further programs land on it), it is retired at its
+// eventual erase, and the write remaps to a page of a fresh block. Data
+// already on a grown-bad block stays readable — program failures damage the
+// page being programmed, not its neighbours — so its valid pages drain
+// through the normal GC/refresh paths. The failed-attempt count is returned
+// so the device model can charge the wasted program pulses.
+func (f *FTL) claimPage(now sim.Time, pl flash.PlaneID) (ppn, int, error) {
+	failed := 0
+	for {
+		p, err := f.allocate(now, pl)
+		if err != nil {
+			return 0, failed, err
+		}
+		if f.opts.Faults == nil {
+			return p, failed, nil
+		}
+		ps := f.planes[pl]
+		_, blk, _ := f.unpackPPN(p)
+		b := ps.blocks[blk]
+		if !f.opts.Faults.ProgramFails(f.addrOf(p), b.eraseCount) {
+			return p, failed, nil
+		}
+		failed++
+		f.stats.ProgramFailures++
+		b.bad = true
+		if ps.active == blk {
+			f.closeActive(pl)
+		}
+	}
 }
 
 // Trim invalidates the LPN without writing a replacement.
@@ -135,7 +174,9 @@ func (f *FTL) invalidate(p ppn) {
 	f.stats.Invalidations++
 }
 
-// eraseBlock wipes a block and returns it to the free list.
+// eraseBlock wipes a block and returns it to the free list — unless the
+// block is grown bad (an earlier program failed there) or the erase itself
+// fails, in which case the block is retired instead.
 func (f *FTL) eraseBlock(pl flash.PlaneID, blk int) {
 	ps := f.planes[pl]
 	b := ps.blocks[blk]
@@ -146,6 +187,16 @@ func (f *FTL) eraseBlock(pl flash.PlaneID, blk int) {
 		panic(fmt.Sprintf("ftl: erasing block p%d/b%d with %d valid pages", pl, blk, b.validCount))
 	}
 	b.eraseCount++
+	if b.bad {
+		f.retireBlock(b)
+		return
+	}
+	if f.opts.Faults != nil &&
+		f.opts.Faults.EraseFails(flash.BlockAddr{Plane: pl, Block: blk}, b.eraseCount) {
+		f.stats.EraseFailures++
+		f.retireBlock(b)
+		return
+	}
 	b.nextStep = 0
 	b.ida = false
 	b.refreshed = false
@@ -158,6 +209,24 @@ func (f *FTL) eraseBlock(pl flash.PlaneID, blk int) {
 	}
 	ps.free = append(ps.free, blk)
 	f.stats.Erases++
+}
+
+// retireBlock takes a block permanently out of service. The entry stays in
+// the block table (wear stats still see it) but never rejoins the free
+// list; GC, refresh, and allocation all skip it from here on.
+func (f *FTL) retireBlock(b *block) {
+	b.retired = true
+	b.nextStep = 0
+	b.ida = false
+	b.refreshed = false
+	for i := range b.valid {
+		b.valid[i] = false
+		b.rmap[i] = 0
+	}
+	for i := range b.wlKeep {
+		b.wlKeep[i] = 0
+	}
+	f.stats.RetiredBlocks++
 }
 
 // relocate moves a valid physical page to a freshly-allocated page in the
@@ -195,7 +264,7 @@ func (f *FTL) relocateTo(p ppn, now sim.Time, target flash.PlaneID) (PageProgram
 	pl, blk, page := f.unpackPPN(p)
 	b := f.planes[pl].blocks[blk]
 	lpn := b.rmap[page]
-	dst, err := f.allocate(now, target)
+	dst, failed, err := f.claimPage(now, target)
 	if err != nil {
 		return PageProgram{}, err
 	}
@@ -206,7 +275,7 @@ func (f *FTL) relocateTo(p ppn, now sim.Time, target flash.PlaneID) (PageProgram
 	db.valid[dpage] = true
 	db.rmap[dpage] = lpn
 	db.validCount++
-	return PageProgram{Addr: f.addrOf(dst), LPN: lpn}, nil
+	return PageProgram{Addr: f.addrOf(dst), LPN: lpn, FailedPrograms: failed}, nil
 }
 
 // sensesAt returns the sensing count needed to read the given physical page

@@ -26,11 +26,12 @@ func (s *SSD) chargeGC(job ftl.GCJob) {
 		m := m
 		steps = append(steps, func(next func()) {
 			readHold := s.cfg.Timing.ReadLatency(m.FromSenses) + s.cfg.Timing.Transfer
-			s.gcBusy += readHold + s.cfg.Timing.Transfer + s.cfg.Timing.Program
+			program := s.cfg.Timing.Program * time.Duration(1+m.FailedPrograms)
+			s.gcBusy += readHold + s.cfg.Timing.Transfer + program
 			s.dieOf(m.From).Acquire(sim.PrioBackground, 0, func() {
 				s.channelOf(m.From).Acquire(sim.PrioBackground, readHold, func() {
 					s.channelOf(m.To).Acquire(sim.PrioBackground, s.cfg.Timing.Transfer, func() {
-						s.dieOf(m.To).Acquire(sim.PrioBackground, s.cfg.Timing.Program, next)
+						s.dieOf(m.To).Acquire(sim.PrioBackground, program, next)
 					})
 				})
 			})
@@ -91,9 +92,10 @@ func (s *SSD) chargeRefresh(job ftl.RefreshJob) {
 	}
 	write := func(m ftl.MoveOp) func(next func()) {
 		return func(next func()) {
-			s.refreshBusy += s.cfg.Timing.Transfer + s.cfg.Timing.Program
+			program := s.cfg.Timing.Program * time.Duration(1+m.FailedPrograms)
+			s.refreshBusy += s.cfg.Timing.Transfer + program
 			s.channelOf(m.To).Acquire(sim.PrioBackground, s.cfg.Timing.Transfer, func() {
-				s.dieOf(m.To).Acquire(sim.PrioBackground, s.cfg.Timing.Program, next)
+				s.dieOf(m.To).Acquire(sim.PrioBackground, program, next)
 			})
 		}
 	}

@@ -3,6 +3,7 @@ package ssd
 import (
 	"time"
 
+	"idaflash/internal/ecc"
 	"idaflash/internal/ftl"
 	"idaflash/internal/sim"
 	"idaflash/internal/telemetry"
@@ -45,6 +46,16 @@ func (s *SSD) readPage(lpn ftl.LPN, req *request) {
 		})
 		return
 	}
+	if s.inj != nil {
+		s.issueRead(lpn, info, req, 0)
+		return
+	}
+	retries := s.eccParams(info).SampleRetries(s.rng)
+	s.readRound(info, req, retries, true, 0)
+}
+
+// eccParams returns the decode/retry parameters for one resolved read.
+func (s *SSD) eccParams(info ftl.ReadInfo) ecc.Params {
 	params := s.cfg.ECC
 	if info.IDA {
 		// Merged wordlines occupy half the voltage states, widening
@@ -52,8 +63,7 @@ func (s *SSD) readPage(lpn ftl.LPN, req *request) {
 		// hard decodes fail far less often.
 		params = params.WithFailScale(idaRetryFailScale)
 	}
-	retries := params.SampleRetries(s.rng)
-	s.readRound(info, req, retries, true)
+	return params
 }
 
 // idaRetryFailScale scales the hard-decode failure probability for pages on
@@ -75,12 +85,14 @@ const idaRetryFailScale = 0.25
 // reduction translate into response-time gains under load. The read first
 // waits for its die to go idle (it cannot sense a die that is mid-program
 // or mid-erase) without holding it.
-func (s *SSD) readRound(info ftl.ReadInfo, req *request, retriesLeft int, first bool) {
+// extra lengthens the first round's hold by an injected latency spike
+// (zero outside fault scenarios).
+func (s *SSD) readRound(info ftl.ReadInfo, req *request, retriesLeft int, first bool, extra time.Duration) {
 	die := s.dieOf(info.Addr)
 	ch := s.channelOf(info.Addr)
 	var hold time.Duration
 	if first {
-		hold = s.cfg.Timing.ReadLatency(info.Senses) + s.cfg.Timing.Transfer
+		hold = s.cfg.Timing.ReadLatency(info.Senses) + s.cfg.Timing.Transfer + extra
 	} else {
 		hold = s.cfg.Timing.ExtraSenseLatency(info.Senses) + s.cfg.Timing.Transfer/2
 		s.flashStats.RetryRounds++
@@ -98,7 +110,7 @@ func (s *SSD) readRound(info ftl.ReadInfo, req *request, retriesLeft int, first 
 			req.sp.AddPhase(telemetry.StageECC, done, done+s.cfg.ECC.DecodeLatency)
 			s.engine.After(s.cfg.ECC.DecodeLatency, func() {
 				if retriesLeft > 0 {
-					s.readRound(info, req, retriesLeft-1, false)
+					s.readRound(info, req, retriesLeft-1, false, 0)
 					return
 				}
 				s.pageDone(req)
@@ -115,11 +127,22 @@ func (s *SSD) writePage(lpn ftl.LPN, req *request) {
 		// Out of space mid-run: surface loudly, this is a sizing bug.
 		panic("ssd: " + err.Error())
 	}
+	s.issueProgram(prog, req, 0)
+}
+
+// issueProgram issues one page program, retrying around die/channel outages
+// (faults.go). A program the FTL had to remap (FailedPrograms > 0) charges
+// the wasted pulses as extra die time.
+func (s *SSD) issueProgram(prog ftl.PageProgram, req *request, attempt int) {
+	if s.checkWriteOutage(prog, req, attempt) {
+		return
+	}
 	s.flashStats.ProgramCommands++
 	die := s.dieOf(prog.Addr)
 	ch := s.channelOf(prog.Addr)
 	issued := s.engine.Now()
-	transfer, program := s.cfg.Timing.Transfer, s.cfg.Timing.Program
+	transfer := s.cfg.Timing.Transfer
+	program := s.cfg.Timing.Program * time.Duration(1+prog.FailedPrograms)
 	ch.Acquire(sim.PrioHostWrite, transfer, func() {
 		sent := s.engine.Now()
 		req.sp.AddPhase(telemetry.StageQueue, issued, sent-transfer)

@@ -17,6 +17,9 @@ type request struct {
 	pages   int // pages still outstanding
 	read    bool
 	size    int
+	// failed marks a request at least one of whose pages exhausted the
+	// fault-retry budget; it completes normally but counts as failed.
+	failed bool
 	// sp is the request's telemetry span; nil when telemetry is disabled
 	// or the request is not sampled (all Span methods are nil-safe).
 	sp *telemetry.Span
@@ -44,6 +47,13 @@ func (s *SSD) pageDone(req *request) {
 	now := s.engine.Now()
 	lat := now - req.arrived
 	s.tel.FinishRequest(req.sp, now, req.read)
+	if req.failed {
+		if req.read {
+			s.faultStats.FailedReadRequests++
+		} else {
+			s.faultStats.FailedWriteRequests++
+		}
+	}
 	if req.read {
 		s.readResp.Add(lat)
 		s.readBytes += uint64(req.size)

@@ -61,6 +61,10 @@ type Results struct {
 	// dispatch, flash command issue).
 	Stages StageStats
 
+	// Faults instruments the host-path fault recovery (zero outside fault
+	// scenarios); the FTL-level remap/retirement counters live in FTL.
+	Faults FaultStats
+
 	// WriteAmplification is (host page programs + GC moves + refresh
 	// moves and write-backs) / host page programs for the measured
 	// phase; 1.0 means no background rewriting.
@@ -215,6 +219,8 @@ func (s *SSD) resetMetrics() {
 	s.adm.stats = AdmissionStats{}
 	s.dispatchStats = DispatchStats{}
 	s.flashStats = FlashStats{}
+	s.faultStats = FaultStats{}
+	s.failedReads = nil
 	s.phaseStart = s.engine.Now()
 }
 
@@ -267,6 +273,7 @@ func (s *SSD) results(name string) Results {
 			Dispatch:  s.dispatchStats,
 			Flash:     s.flashStats,
 		},
+		Faults:    s.faultStats,
 		Events:    s.engine.Processed(),
 		ReadHist:  s.readResp.Clone(),
 		WriteHist: s.writeResp.Clone(),

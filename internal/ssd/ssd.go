@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"idaflash/internal/ecc"
+	"idaflash/internal/faults"
 	"idaflash/internal/flash"
 	"idaflash/internal/ftl"
 	"idaflash/internal/sim"
@@ -48,6 +49,15 @@ type Config struct {
 	SchedulerMaxWait time.Duration
 	// Seed drives the device-level randomness (ECC retry draws).
 	Seed int64
+	// Faults, when non-nil, attaches a deterministic fault-injection
+	// scenario (internal/faults): wear-dependent program/erase failures
+	// handled by the FTL, die/channel outages and transient read faults
+	// handled by the host issue path with bounded retry. The injector's
+	// draws are seeded from Seed, so fault campaigns replay bit for bit.
+	Faults *faults.Scenario
+	// FaultDevice is this device's array member index, used to filter the
+	// scenario's per-device outages (0 for a single device).
+	FaultDevice int
 	// Telemetry, when non-nil, attaches a lifecycle recorder: request
 	// spans (sampled per Telemetry.SampleEvery) and, with a positive
 	// MetricsInterval, a fixed-interval time series of queue depths,
@@ -93,6 +103,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Telemetry != nil && c.Telemetry.MetricsInterval < 0 {
 		return c, fmt.Errorf("ssd: Telemetry.MetricsInterval %v must be non-negative", c.Telemetry.MetricsInterval)
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return c, err
+	}
+	if c.FaultDevice < 0 {
+		return c, fmt.Errorf("ssd: FaultDevice %d must be non-negative", c.FaultDevice)
+	}
 	c.FTL.Geometry = c.Geometry
 	return c, nil
 }
@@ -115,6 +131,12 @@ type SSD struct {
 	adm           admission
 	dispatchStats DispatchStats
 	flashStats    FlashStats
+
+	// Fault injection (nil injector when no scenario is attached; see
+	// faults.go for the recovery path).
+	inj         *faults.Injector
+	faultStats  FaultStats
+	failedReads []FailedExtent
 
 	// Host-visible accounting.
 	lastHostDone sim.Time
@@ -168,6 +190,13 @@ func New(cfg Config) (*SSD, error) {
 		s.dieWatch = &resourceWatch{}
 		s.chanWatch = &resourceWatch{}
 		cfg.FTL.Hooks = s.ftlHooks()
+	}
+	// The injector's media-failure draws feed the FTL through its
+	// FaultModel seam. Only a non-nil injector is installed: a typed nil
+	// in the interface would defeat the FTL's nil check.
+	if cfg.Faults != nil {
+		s.inj = faults.NewInjector(cfg.Faults, cfg.Seed, cfg.FaultDevice)
+		cfg.FTL.Faults = s.inj
 	}
 	f, err := ftl.New(cfg.FTL)
 	if err != nil {

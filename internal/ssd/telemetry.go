@@ -102,6 +102,7 @@ func (s *SSD) recordSample(now sim.Time) {
 		IDABlocks:     u.IDABlocks,
 		IDAValidPages: u.IDAValidPages,
 		MappedPages:   s.f.MappedPages(),
+		RetiredBlocks: u.Retired,
 		Activity:      s.tel.TakeActivity(),
 	}
 	var dieBusy time.Duration

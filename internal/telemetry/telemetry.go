@@ -273,6 +273,15 @@ func (r *Recorder) CountRefresh(moves, adjustedWLs int, ida bool) {
 	}
 }
 
+// CountFaultRetry accounts one host-path fault retry (a flash command
+// re-issued after an injected outage or timeout) into the current interval.
+func (r *Recorder) CountFaultRetry() {
+	if r == nil {
+		return
+	}
+	r.acc.FaultRetries++
+}
+
 // TakeActivity returns the activity accumulated since the previous call
 // and resets the accumulator; the device's sampler calls it once per tick.
 func (r *Recorder) TakeActivity() Activity {

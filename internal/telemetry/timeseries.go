@@ -32,6 +32,9 @@ type Activity struct {
 	RefreshMoves uint64
 	AdjustedWLs  uint64
 	IDARefreshes uint64
+	// FaultRetries counts host-path flash commands re-issued after an
+	// injected fault (outage or transient timeout) within the interval.
+	FaultRetries uint64
 }
 
 // Sample is one fixed-interval snapshot of device state. Gauges (queue
@@ -76,6 +79,9 @@ type Sample struct {
 	IDABlocks     int
 	IDAValidPages int // valid pages living on IDA-reprogrammed wordlines
 	MappedPages   int
+	// RetiredBlocks counts grown-bad blocks out of service (cumulative
+	// census at the sample instant, like the other block populations).
+	RetiredBlocks int
 
 	// Background busy time over the interval.
 	GCBusy      time.Duration
@@ -93,12 +99,12 @@ func csvHeader(nch int) []string {
 		"die_max_queue", "chan_max_queue", "die_wait_ns", "chan_wait_ns",
 		"die_busy_ns", "chan_busy_ns",
 		"free_blocks", "active_blocks", "inuse_blocks", "empty_blocks",
-		"ida_blocks", "ida_valid_pages", "mapped_pages",
+		"ida_blocks", "ida_valid_pages", "mapped_pages", "retired_blocks",
 		"gc_busy_ns", "refresh_busy_ns",
 		"reads_done", "writes_done",
 		"read_pages", "senses", "ida_read_pages", "write_pages",
 		"gc_jobs", "gc_moves", "refreshes", "refresh_moves",
-		"adjusted_wls", "ida_refreshes",
+		"adjusted_wls", "ida_refreshes", "fault_retries",
 	}
 	for c := 0; c < nch; c++ {
 		h = append(h, fmt.Sprintf("ch%d_busy_ns", c))
@@ -119,12 +125,12 @@ func (s *Sample) appendRow(row []string, nch int) []string {
 		i(s.DieMaxQueue), i(s.ChanMaxQueue), d(s.DieWait), d(s.ChanWait),
 		d(s.DieBusy), d(s.ChanBusy),
 		i(s.FreeBlocks), i(s.ActiveBlocks), i(s.InUseBlocks), i(s.EmptyBlocks),
-		i(s.IDABlocks), i(s.IDAValidPages), i(s.MappedPages),
+		i(s.IDABlocks), i(s.IDAValidPages), i(s.MappedPages), i(s.RetiredBlocks),
 		d(s.GCBusy), d(s.RefreshBusy),
 		u(s.ReadsDone), u(s.WritesDone),
 		u(s.ReadPages), u(s.Senses), u(s.IDAReadPages), u(s.WritePages),
 		u(s.GCJobs), u(s.GCMoves), u(s.Refreshes), u(s.RefreshMoves),
-		u(s.AdjustedWLs), u(s.IDARefreshes),
+		u(s.AdjustedWLs), u(s.IDARefreshes), u(s.FaultRetries),
 	)
 	for c := 0; c < nch; c++ {
 		var v time.Duration
@@ -160,7 +166,7 @@ func (e *Export) WriteCSV(w io.Writer) error {
 		bw.WriteByte('\n')
 	}
 	writeRow(csvHeader(nch))
-	row := make([]string, 0, 35+nch)
+	row := make([]string, 0, 37+nch)
 	for i := range e.Samples {
 		row = e.Samples[i].appendRow(row[:0], nch)
 		writeRow(row)
