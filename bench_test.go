@@ -70,8 +70,9 @@ func BenchmarkFigure6(b *testing.B) { benchExperiment(b, experiments.Figure6) }
 // BenchmarkBlockUsage regenerates the Section III-C block accounting.
 func BenchmarkBlockUsage(b *testing.B) { benchExperiment(b, experiments.BlockUsage) }
 
-// BenchmarkSingleRun measures one full baseline simulation (trace
-// generation, prefill, aging, timed replay).
+// BenchmarkSingleRun measures one full baseline simulation (prefill,
+// aging, timed replay; trace generation is cached across iterations by
+// workload.DefaultTraceCache, as it is across the runs of a sweep).
 func BenchmarkSingleRun(b *testing.B) {
 	p, err := idaflash.ProfileByName("hm_1", benchRequests)
 	if err != nil {

@@ -415,11 +415,7 @@ func RunArrayWorkload(p Profile, sys System) (ArrayResults, error) {
 	if err != nil {
 		return ArrayResults{}, err
 	}
-	tr, err := np.Generate()
-	if err != nil {
-		return ArrayResults{}, err
-	}
-	pre, err := np.AgingPreamble()
+	tr, pre, err := workload.DefaultTraceCache.Traces(np)
 	if err != nil {
 		return ArrayResults{}, err
 	}
@@ -437,11 +433,11 @@ func runWorkload(p Profile, sys System) (Results, *SSD, error) {
 	if err != nil {
 		return Results{}, nil, err
 	}
-	tr, err := p.Generate()
-	if err != nil {
-		return Results{}, nil, err
-	}
-	pre, err := p.AgingPreamble()
+	// The trace depends only on the (normalized) profile, never on the
+	// system, so one cached generation backs every system evaluated on
+	// this profile. The simulator replays the shared trace through a
+	// cursor without mutating it.
+	tr, pre, err := workload.DefaultTraceCache.Traces(p)
 	if err != nil {
 		return Results{}, nil, err
 	}

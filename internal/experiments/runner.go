@@ -50,15 +50,23 @@ func (o Options) withDefaults() Options {
 // Runner memoizes simulation runs across experiments.
 type Runner struct {
 	opts Options
+	// run executes one simulation; idaflash.RunWorkload in production,
+	// replaced by tests counting actual invocations.
+	run func(workload.Profile, idaflash.System) (idaflash.Results, error)
 
 	mu    sync.Mutex
-	cache map[string]cached
+	cache map[string]*runEntry
 	sem   chan struct{}
 }
 
-type cached struct {
-	res idaflash.Results
-	err error
+// runEntry is one key's simulation, completed or in flight. The entry is
+// installed before the simulation starts and done is closed when it
+// finishes, giving Run singleflight semantics: concurrent misses on the
+// same key wait for the first goroutine's result instead of re-simulating.
+type runEntry struct {
+	done chan struct{}
+	res  idaflash.Results
+	err  error
 }
 
 // NewRunner builds a runner.
@@ -66,7 +74,8 @@ func NewRunner(opts Options) *Runner {
 	opts = opts.withDefaults()
 	return &Runner{
 		opts:  opts,
-		cache: make(map[string]cached),
+		run:   idaflash.RunWorkload,
+		cache: make(map[string]*runEntry),
 		sem:   make(chan struct{}, opts.Parallel),
 	}
 }
@@ -96,28 +105,31 @@ func key(p workload.Profile, sys idaflash.System) string {
 	return string(b)
 }
 
-// Run executes (or recalls) one simulation.
+// Run executes (or recalls) one simulation. Concurrent calls with the same
+// key run the simulation once: the first caller executes it, later callers
+// block on its completion and share the result.
 func (r *Runner) Run(p workload.Profile, sys idaflash.System) (idaflash.Results, error) {
 	k := key(p, sys)
 	r.mu.Lock()
-	if c, ok := r.cache[k]; ok {
+	if e, ok := r.cache[k]; ok {
 		r.mu.Unlock()
-		return c.res, c.err
+		<-e.done
+		return e.res, e.err
 	}
+	e := &runEntry{done: make(chan struct{})}
+	r.cache[k] = e
 	r.mu.Unlock()
 
 	r.sem <- struct{}{}
 	start := time.Now()
-	res, err := idaflash.RunWorkload(p, sys)
+	e.res, e.err = r.run(p, sys)
 	<-r.sem
+	close(e.done)
 
-	r.mu.Lock()
-	r.cache[k] = cached{res: res, err: err}
-	r.mu.Unlock()
 	if r.opts.Progress != nil {
 		fmt.Fprintf(r.opts.Progress, "ran %-8s %-12s in %v\n", p.Name, sys.Name, time.Since(start).Round(time.Millisecond))
 	}
-	return res, err
+	return e.res, e.err
 }
 
 // RunAll warms the cache for all pairs concurrently. Every failing pair is

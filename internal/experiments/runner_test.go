@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"idaflash"
@@ -68,5 +70,67 @@ func TestRunAllNoErrorOnSuccess(t *testing.T) {
 	}
 	if err := r.RunAll([]pair{{profile: p, sys: idaflash.Baseline()}}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunSingleflight is the dedup regression test: concurrent Run calls on
+// one (profile, system) key must invoke the underlying simulation exactly
+// once, with every caller sharing the one result. Before the singleflight
+// entries, concurrent misses raced past the completed-only cache and each
+// ran the full simulation.
+func TestRunSingleflight(t *testing.T) {
+	r := NewRunner(Options{Requests: 100, Parallel: 8})
+	var invocations int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	r.run = func(p workload.Profile, sys idaflash.System) (idaflash.Results, error) {
+		if atomic.AddInt32(&invocations, 1) == 1 {
+			close(started)
+		}
+		<-release // hold the first run open so every other call sees it in flight
+		return idaflash.Results{Trace: p.Name + "/" + sys.Name}, nil
+	}
+
+	p := workload.Profile{Name: "sf", Requests: 100}
+	sys := idaflash.Baseline()
+	const callers = 16
+	results := make(chan idaflash.Results, callers)
+	errs := make(chan error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := r.Run(p, sys)
+			results <- res
+			errs <- err
+		}()
+	}
+	<-started // the first caller is inside the simulation...
+	close(release)
+	wg.Wait()
+	close(results)
+	close(errs)
+
+	if n := atomic.LoadInt32(&invocations); n != 1 {
+		t.Fatalf("simulation ran %d times for one key, want 1", n)
+	}
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("Run returned error: %v", err)
+		}
+	}
+	for res := range results {
+		if res.Trace != "sf/"+sys.Name {
+			t.Fatalf("caller got wrong shared result: %q", res.Trace)
+		}
+	}
+
+	// A later call on the same key must also reuse the finished entry.
+	if _, err := r.Run(p, sys); err != nil {
+		t.Fatalf("cached re-run errored: %v", err)
+	}
+	if n := atomic.LoadInt32(&invocations); n != 1 {
+		t.Fatalf("cache hit re-ran the simulation (%d invocations)", n)
 	}
 }

@@ -206,7 +206,7 @@ type FTL struct {
 	order *flash.ProgramOrder
 	rng   *rand.Rand
 
-	l2p    map[LPN]ppn
+	l2p    *l2pTable
 	planes []*plane
 	// allocCursor rotates host writes across planes in CWDP order
 	// (channel first, then chip, then die, then plane).
@@ -239,7 +239,7 @@ func New(opts Options) (*FTL, error) {
 		cells: flash.NewCellModel(opts.Scheme),
 		order: flash.NewProgramOrder(g.WordlinesPerBlock, g.BitsPerCell, opts.Order),
 		rng:   rand.New(rand.NewSource(opts.Seed ^ 0x49444146)),
-		l2p:   make(map[LPN]ppn, 1024),
+		l2p:   newL2P(g.TotalPages()),
 	}
 	f.planes = make([]*plane, g.Planes())
 	for i := range f.planes {
@@ -389,9 +389,9 @@ func (f *FTL) wlValidMask(b *block, wl int) coding.ValidMask {
 
 // Mapped reports whether the LPN currently has a physical page.
 func (f *FTL) Mapped(lpn LPN) bool {
-	_, ok := f.l2p[lpn]
+	_, ok := f.l2p.get(lpn)
 	return ok
 }
 
 // MappedPages returns the number of mapped logical pages.
-func (f *FTL) MappedPages() int { return len(f.l2p) }
+func (f *FTL) MappedPages() int { return f.l2p.len() }

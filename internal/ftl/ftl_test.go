@@ -64,7 +64,7 @@ func checkInvariants(t *testing.T, f *FTL) {
 				}
 				n++
 				lpn := b.rmap[page]
-				p, ok := f.l2p[lpn]
+				p, ok := f.l2p.get(lpn)
 				if !ok {
 					t.Fatalf("plane %d block %d page %d valid but LPN %d unmapped", pl, blk, page, lpn)
 				}
@@ -79,8 +79,8 @@ func checkInvariants(t *testing.T, f *FTL) {
 			totalValid += n
 		}
 	}
-	if totalValid != len(f.l2p) {
-		t.Fatalf("%d valid pages but %d mapped LPNs", totalValid, len(f.l2p))
+	if totalValid != f.l2p.len() {
+		t.Fatalf("%d valid pages but %d mapped LPNs", totalValid, f.l2p.len())
 	}
 }
 

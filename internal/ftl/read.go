@@ -57,7 +57,7 @@ type ReadInfo struct {
 // Read resolves a host read of the LPN. The boolean is false when the LPN
 // is unmapped (never written or trimmed).
 func (f *FTL) Read(lpn LPN) (ReadInfo, bool) {
-	p, ok := f.l2p[lpn]
+	p, ok := f.l2p.get(lpn)
 	if !ok {
 		return ReadInfo{}, false
 	}

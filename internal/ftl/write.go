@@ -41,10 +41,10 @@ func (f *FTL) Write(lpn LPN, now sim.Time) (PageProgram, error) {
 	if err != nil {
 		return PageProgram{}, err
 	}
-	if old, ok := f.l2p[lpn]; ok {
+	if old, ok := f.l2p.get(lpn); ok {
 		f.invalidate(old)
 	}
-	f.l2p[lpn] = p
+	f.l2p.set(lpn, p)
 	pl, blk, page := f.unpackPPN(p)
 	b := f.planes[pl].blocks[blk]
 	b.valid[page] = true
@@ -91,9 +91,9 @@ func (f *FTL) claimPage(now sim.Time, pl flash.PlaneID) (ppn, int, error) {
 
 // Trim invalidates the LPN without writing a replacement.
 func (f *FTL) Trim(lpn LPN) {
-	if old, ok := f.l2p[lpn]; ok {
+	if old, ok := f.l2p.get(lpn); ok {
 		f.invalidate(old)
-		delete(f.l2p, lpn)
+		f.l2p.remove(lpn)
 	}
 }
 
@@ -269,7 +269,7 @@ func (f *FTL) relocateTo(p ppn, now sim.Time, target flash.PlaneID) (PageProgram
 		return PageProgram{}, err
 	}
 	f.invalidate(p)
-	f.l2p[lpn] = dst
+	f.l2p.set(lpn, dst)
 	dpl, dblk, dpage := f.unpackPPN(dst)
 	db := f.planes[dpl].blocks[dblk]
 	db.valid[dpage] = true

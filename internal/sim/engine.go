@@ -5,7 +5,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -15,38 +14,36 @@ import (
 // nanosecond resolution.
 type Time = time.Duration
 
-// event is one scheduled callback.
+// Action is a pre-allocated callback: a state object whose Run method is the
+// event body. Scheduling a pointer-backed Action stores the interface value
+// inline in the event queue, so — unlike a fresh closure — it costs no
+// allocation per event. The simulation hot path (resource completions,
+// pooled page operations) schedules Actions; cold paths keep using func()
+// callbacks.
+type Action interface {
+	Run()
+}
+
+// event is one scheduled callback: either a closure (fn) or a pre-allocated
+// Action (op). Exactly one of the two is set.
 type event struct {
 	at  Time
 	seq uint64 // insertion order, for deterministic FIFO tie-breaking
 	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	op  Action
 }
 
 // Engine is a deterministic discrete-event scheduler. It is not safe for
 // concurrent use: the whole simulation runs on one goroutine, which is what
 // makes runs bit-for-bit reproducible.
+//
+// The event queue is an inlined index-based binary min-heap over []event,
+// ordered by (at, seq). Inlining (instead of container/heap) keeps events
+// out of interface{} boxes: pushing and popping moves struct values within
+// one backing array and never allocates beyond the amortized append growth.
 type Engine struct {
 	now       Time
-	events    eventHeap
+	events    []event
 	seq       uint64
 	processed uint64
 }
@@ -65,20 +62,91 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return len(e.events) }
 
-// At schedules fn to run at absolute simulated time t. Scheduling in the
-// past is a programming error and panics: allowing it would silently
-// reorder causality.
-func (e *Engine) At(t Time, fn func()) {
+// eventLess orders the heap by timestamp, breaking ties by insertion order
+// so equal-time events run FIFO.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts an event and restores the heap by sifting it up.
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	h := e.events
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event, zeroing the vacated slot so
+// the backing array does not retain callback references.
+func (e *Engine) pop() event {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	h = h[:n]
+	e.events = h
+	// Sift the relocated element down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && eventLess(&h[r], &h[l]) {
+			child = r
+		}
+		if !eventLess(&h[child], &h[i]) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+	return root
+}
+
+// schedule validates the timestamp and enqueues the event.
+func (e *Engine) schedule(t Time, fn func(), op Action) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn, op: op})
+}
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past is a programming error and panics: allowing it would silently
+// reorder causality.
+func (e *Engine) At(t Time, fn func()) {
+	e.schedule(t, fn, nil)
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
 func (e *Engine) After(d time.Duration, fn func()) {
-	e.At(e.now+d, fn)
+	e.schedule(e.now+d, fn, nil)
+}
+
+// AtAction schedules a pre-allocated Action at absolute time t. It is the
+// allocation-free counterpart of At.
+func (e *Engine) AtAction(t Time, a Action) {
+	e.schedule(t, nil, a)
+}
+
+// AfterAction schedules a pre-allocated Action d after the current time. It
+// is the allocation-free counterpart of After.
+func (e *Engine) AfterAction(d time.Duration, a Action) {
+	e.schedule(e.now+d, nil, a)
 }
 
 // Step executes the single earliest pending event, advancing the clock to
@@ -87,10 +155,14 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.pop()
 	e.now = ev.at
 	e.processed++
-	ev.fn()
+	if ev.op != nil {
+		ev.op.Run()
+	} else {
+		ev.fn()
+	}
 	return true
 }
 

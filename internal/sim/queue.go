@@ -1,0 +1,60 @@
+package sim
+
+// waiterQueue is a FIFO ring buffer of waiters. It replaces the earlier
+// head-shifting []Waiter queues: popping moves a head index instead of
+// copying the tail down, zeroes the vacated slot so completed callbacks are
+// not retained, and reuses the backing array, so sustained queueing churns
+// no memory at all once the buffer has grown to the peak depth.
+type waiterQueue struct {
+	buf  []Waiter
+	head int
+	size int
+}
+
+// Len returns the number of queued waiters.
+func (q *waiterQueue) Len() int { return q.size }
+
+// Cap returns the backing array length (tests assert it stays bounded).
+func (q *waiterQueue) Cap() int { return len(q.buf) }
+
+// Push appends a waiter at the tail, growing the ring when full.
+func (q *waiterQueue) Push(w Waiter) {
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = w
+	q.size++
+}
+
+// Pop removes and returns the head waiter. Popping an empty queue panics
+// (callers check Len first).
+func (q *waiterQueue) Pop() Waiter {
+	w := q.buf[q.head]
+	q.buf[q.head] = Waiter{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return w
+}
+
+// Front returns the head waiter without removing it. Calling Front on an
+// empty queue panics.
+func (q *waiterQueue) Front() *Waiter {
+	if q.size == 0 {
+		panic("sim: Front on empty waiterQueue")
+	}
+	return &q.buf[q.head]
+}
+
+// grow doubles the ring, unwrapping the elements into index order.
+func (q *waiterQueue) grow() {
+	n := len(q.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	buf := make([]Waiter, n)
+	for i := 0; i < q.size; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
+}

@@ -68,6 +68,11 @@ type Resource struct {
 	seq    uint64
 	stats  ResourceStats
 	hook   ResourceHook
+	// current is the waiter in service. The resource itself is the
+	// engine Action for its completion (Run), so serving a waiter
+	// schedules no closure: the single-server discipline guarantees at
+	// most one hold is in flight per resource at a time.
+	current Waiter
 }
 
 // NewResource creates a resource bound to the engine with the default
@@ -109,14 +114,26 @@ func (r *Resource) QueueLen() int { return r.sched.Len() }
 // must be non-negative; a zero hold still round-trips through the queue so
 // ordering stays consistent.
 func (r *Resource) Acquire(p Priority, hold time.Duration, then func()) {
-	if p < 0 || p >= numPriorities {
-		panic(fmt.Sprintf("sim: resource %s acquire with priority %d", r.name, p))
+	r.acquire(Waiter{Prio: p, hold: hold, then: then})
+}
+
+// AcquireAction is the allocation-free counterpart of Acquire: the
+// completion callback is a pre-allocated Action (typically a pooled
+// operation struct), so neither queueing nor service allocates.
+func (r *Resource) AcquireAction(p Priority, hold time.Duration, a Action) {
+	r.acquire(Waiter{Prio: p, hold: hold, op: a})
+}
+
+func (r *Resource) acquire(w Waiter) {
+	if w.Prio < 0 || w.Prio >= numPriorities {
+		panic(fmt.Sprintf("sim: resource %s acquire with priority %d", r.name, w.Prio))
 	}
-	if hold < 0 {
-		panic(fmt.Sprintf("sim: resource %s acquire with negative hold %v", r.name, hold))
+	if w.hold < 0 {
+		panic(fmt.Sprintf("sim: resource %s acquire with negative hold %v", r.name, w.hold))
 	}
 	r.seq++
-	w := Waiter{Prio: p, Enqueued: r.engine.Now(), seq: r.seq, hold: hold, then: then}
+	w.Enqueued = r.engine.Now()
+	w.seq = r.seq
 	if r.busy {
 		r.sched.Push(w)
 		q := r.sched.Len()
@@ -124,7 +141,7 @@ func (r *Resource) Acquire(p Priority, hold time.Duration, then func()) {
 			r.stats.MaxQueue = q
 		}
 		if r.hook != nil {
-			r.hook.ResourceEnqueued(r, p, q)
+			r.hook.ResourceEnqueued(r, w.Prio, q)
 		}
 		return
 	}
@@ -141,18 +158,22 @@ func (r *Resource) serve(w Waiter) {
 	if r.hook != nil {
 		r.hook.ResourceGranted(r, w.Prio, wait, w.hold)
 	}
-	r.engine.After(w.hold, func() {
-		// Run the completion callback while the server is still
-		// marked busy, so a callback that immediately re-acquires
-		// (e.g. a chained refresh step) queues behind already-waiting
-		// work rather than cutting the line.
-		if w.then != nil {
-			w.then()
-		}
-		r.busy = false
-		r.stats.LastIdleAt = r.engine.Now()
-		r.next()
-	})
+	r.current = w
+	r.engine.AfterAction(w.hold, r)
+}
+
+// Run completes the hold of the waiter in service; the engine invokes it at
+// the completion instant. The completion callback runs while the server is
+// still marked busy, so a callback that immediately re-acquires (e.g. a
+// chained refresh step) queues behind already-waiting work rather than
+// cutting the line.
+func (r *Resource) Run() {
+	w := r.current
+	r.current = Waiter{} // drop callback references before running them
+	w.complete()
+	r.busy = false
+	r.stats.LastIdleAt = r.engine.Now()
+	r.next()
 }
 
 // next asks the scheduler for the waiter to dispatch, if any.

@@ -45,13 +45,24 @@ func Policies() []Policy {
 
 // Waiter is one queued acquisition as a Scheduler sees it: the service
 // class, the enqueue instant, and an opaque payload the Resource round-trips
-// (the hold duration and completion callback).
+// (the hold duration and completion callback — a closure or a pre-allocated
+// Action, whichever the acquirer supplied).
 type Waiter struct {
 	Prio     Priority
 	Enqueued Time
 	seq      uint64
 	hold     time.Duration
 	then     func()
+	op       Action
+}
+
+// complete invokes the waiter's completion callback, if any.
+func (w *Waiter) complete() {
+	if w.op != nil {
+		w.op.Run()
+	} else if w.then != nil {
+		w.then()
+	}
 }
 
 // Scheduler orders the waiters of one Resource. Implementations are
@@ -122,19 +133,19 @@ func (c SchedulerConfig) New() Scheduler {
 // serves the highest non-empty class, reproducing the original hard-wired
 // discipline bit for bit.
 type readFirstScheduler struct {
-	queues [numPriorities][]Waiter
+	queues [numPriorities]waiterQueue
 }
 
 func (s *readFirstScheduler) Policy() Policy { return PolicyReadFirst }
 
 func (s *readFirstScheduler) Push(w Waiter) {
-	s.queues[w.Prio] = append(s.queues[w.Prio], w)
+	s.queues[w.Prio].Push(w)
 }
 
 func (s *readFirstScheduler) Pop(Time) (Waiter, bool) {
 	for p := Priority(0); p < numPriorities; p++ {
-		if len(s.queues[p]) > 0 {
-			return popFront(&s.queues[p]), true
+		if s.queues[p].Len() > 0 {
+			return s.queues[p].Pop(), true
 		}
 	}
 	return Waiter{}, false
@@ -142,26 +153,26 @@ func (s *readFirstScheduler) Pop(Time) (Waiter, bool) {
 
 func (s *readFirstScheduler) Len() int {
 	n := 0
-	for _, q := range s.queues {
-		n += len(q)
+	for i := range s.queues {
+		n += s.queues[i].Len()
 	}
 	return n
 }
 
 // fifoScheduler serves strictly in arrival order.
 type fifoScheduler struct {
-	queue []Waiter
+	queue waiterQueue
 }
 
 func (s *fifoScheduler) Policy() Policy { return PolicyFIFO }
-func (s *fifoScheduler) Push(w Waiter)  { s.queue = append(s.queue, w) }
-func (s *fifoScheduler) Len() int       { return len(s.queue) }
+func (s *fifoScheduler) Push(w Waiter)  { s.queue.Push(w) }
+func (s *fifoScheduler) Len() int       { return s.queue.Len() }
 
 func (s *fifoScheduler) Pop(Time) (Waiter, bool) {
-	if len(s.queue) == 0 {
+	if s.queue.Len() == 0 {
 		return Waiter{}, false
 	}
-	return popFront(&s.queue), true
+	return s.queue.Pop(), true
 }
 
 // ageAwareScheduler is read-first with a starvation bound: when the oldest
@@ -170,14 +181,14 @@ func (s *fifoScheduler) Pop(Time) (Waiter, bool) {
 // waiters the oldest wins, ties going to the higher class, which keeps the
 // pick deterministic.
 type ageAwareScheduler struct {
-	queues  [numPriorities][]Waiter
+	queues  [numPriorities]waiterQueue
 	maxWait time.Duration
 }
 
 func (s *ageAwareScheduler) Policy() Policy { return PolicyAgeAware }
 
 func (s *ageAwareScheduler) Push(w Waiter) {
-	s.queues[w.Prio] = append(s.queues[w.Prio], w)
+	s.queues[w.Prio].Push(w)
 }
 
 func (s *ageAwareScheduler) Pop(now Time) (Waiter, bool) {
@@ -185,23 +196,23 @@ func (s *ageAwareScheduler) Pop(now Time) (Waiter, bool) {
 	// head preempts the read-first order.
 	aged := Priority(-1)
 	for p := PrioHostWrite; p < numPriorities; p++ {
-		if len(s.queues[p]) == 0 {
+		if s.queues[p].Len() == 0 {
 			continue
 		}
-		head := s.queues[p][0]
+		head := s.queues[p].Front()
 		if now-head.Enqueued < s.maxWait {
 			continue
 		}
-		if aged < 0 || head.Enqueued < s.queues[aged][0].Enqueued {
+		if aged < 0 || head.Enqueued < s.queues[aged].Front().Enqueued {
 			aged = p
 		}
 	}
 	if aged >= 0 {
-		return popFront(&s.queues[aged]), true
+		return s.queues[aged].Pop(), true
 	}
 	for p := Priority(0); p < numPriorities; p++ {
-		if len(s.queues[p]) > 0 {
-			return popFront(&s.queues[p]), true
+		if s.queues[p].Len() > 0 {
+			return s.queues[p].Pop(), true
 		}
 	}
 	return Waiter{}, false
@@ -209,18 +220,8 @@ func (s *ageAwareScheduler) Pop(now Time) (Waiter, bool) {
 
 func (s *ageAwareScheduler) Len() int {
 	n := 0
-	for _, q := range s.queues {
-		n += len(q)
+	for i := range s.queues {
+		n += s.queues[i].Len()
 	}
 	return n
-}
-
-// popFront removes and returns the first waiter, shifting rather than
-// reslicing forever: these queues stay short, and copying keeps memory
-// bounded.
-func popFront(q *[]Waiter) Waiter {
-	w := (*q)[0]
-	copy(*q, (*q)[1:])
-	*q = (*q)[:len(*q)-1]
-	return w
 }

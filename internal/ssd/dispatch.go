@@ -36,7 +36,8 @@ func (s *SSD) startRequest(r workload.Request, arrived sim.Time, sp *telemetry.S
 	now := s.engine.Now()
 	sp.Admit(now)
 	first, count := s.lpnRange(r.Offset, r.Size)
-	req := &request{arrived: arrived, pages: int(count), read: r.Read, size: r.Size, sp: sp}
+	req := s.getRequest()
+	req.arrived, req.pages, req.read, req.size, req.sp = arrived, int(count), r.Read, r.Size, sp
 	if s.adm.inFlight == 0 {
 		s.busyStart = now
 	}

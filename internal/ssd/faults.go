@@ -118,7 +118,7 @@ func (s *SSD) issueRead(lpn ftl.LPN, info ftl.ReadInfo, req *request, attempt in
 		s.faultStats.LatencySpikes++
 	}
 	retries := s.eccParams(info).SampleRetries(s.rng)
-	s.readRound(info, req, retries, true, extra)
+	s.startRead(info, req, retries, extra)
 }
 
 // failReadPage gives up on a page read: the page completes as failed (the

@@ -11,7 +11,10 @@ import (
 // dispatch stage (dispatch.go), and pageDone closes the loop — response
 // accounting and submission-queue slot release.
 
-// request tracks one in-flight host request.
+// request tracks one in-flight host request. Requests are pooled on the
+// SSD: pageDone recycles the struct once its last page completes, so the
+// steady-state request flow reuses a bounded set of them (one per in-flight
+// request at the peak).
 type request struct {
 	arrived sim.Time
 	pages   int // pages still outstanding
@@ -23,6 +26,22 @@ type request struct {
 	// sp is the request's telemetry span; nil when telemetry is disabled
 	// or the request is not sampled (all Span methods are nil-safe).
 	sp *telemetry.Span
+}
+
+// getRequest pops a pooled request or allocates a fresh one.
+func (s *SSD) getRequest() *request {
+	if n := len(s.requests); n > 0 {
+		req := s.requests[n-1]
+		s.requests = s.requests[:n-1]
+		return req
+	}
+	return &request{}
+}
+
+// putRequest recycles a completed request. Callers must not retain req.
+func (s *SSD) putRequest(req *request) {
+	*req = request{}
+	s.requests = append(s.requests, req)
 }
 
 // submit admits a newly-arrived host request, queueing it host-side when
@@ -63,6 +82,7 @@ func (s *SSD) pageDone(req *request) {
 		s.writeBytes += uint64(req.size)
 		s.writeReqs++
 	}
+	s.putRequest(req)
 	s.lastHostDone = now
 	// A completed request frees a submission-queue slot; the oldest
 	// parked request (if any) enters service with its original arrival

@@ -180,26 +180,39 @@ func (s *SSD) RunMore(tr *workload.Trace) (Results, error) {
 	return s.results(tr.Name), nil
 }
 
+// arrivalFeeder walks the measured trace as a single reusable engine
+// Action: each firing submits one request and re-schedules itself for the
+// next arrival, replaying the request slice through a cursor instead of
+// allocating a closure per request. The slice is never mutated, so cached
+// traces can back any number of runs.
+type arrivalFeeder struct {
+	s     *SSD
+	reqs  []workload.Request
+	next  int
+	start sim.Time // engine time the replay began
+	base  time.Duration
+}
+
+// Run submits the request under the cursor and re-arms for the next one.
+func (a *arrivalFeeder) Run() {
+	a.s.submit(a.reqs[a.next])
+	a.next++
+	if a.next < len(a.reqs) {
+		a.s.engine.AtAction(a.start+sim.Time(a.reqs[a.next].At-a.base), a)
+	}
+}
+
+// remaining returns the number of requests not yet submitted.
+func (a *arrivalFeeder) remaining() int { return len(a.reqs) - a.next }
+
 // replayTimed schedules the requests (rebased to the current simulated
 // time), arms the refresh scan, and drains the engine.
 func (s *SSD) replayTimed(reqs []workload.Request) {
 	start := s.engine.Now()
-	base := reqs[0].At
-	remaining := len(reqs)
-	var scheduleArrival func(i int)
-	scheduleArrival = func(i int) {
-		r := reqs[i]
-		s.engine.At(start+sim.Time(r.At-base), func() {
-			remaining--
-			s.submit(r)
-			if i+1 < len(reqs) {
-				scheduleArrival(i + 1)
-			}
-		})
-	}
-	scheduleArrival(0)
+	feeder := &arrivalFeeder{s: s, reqs: reqs, start: start, base: reqs[0].At}
+	s.engine.AtAction(start+sim.Time(reqs[0].At-feeder.base), feeder)
 	s.scheduleRefreshScan(func() bool {
-		return remaining > 0 || s.adm.inFlight > 0 || len(s.adm.queue) > 0
+		return feeder.remaining() > 0 || s.adm.inFlight > 0 || len(s.adm.queue) > 0
 	})
 	s.armSampler()
 	s.engine.Run()

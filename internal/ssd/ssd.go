@@ -132,6 +132,13 @@ type SSD struct {
 	dispatchStats DispatchStats
 	flashStats    FlashStats
 
+	// Free lists for the hot-path state (flashio.go, host.go): page
+	// operations and request records recycle through these instead of
+	// allocating per page/request. Sized by the peak in-flight depth.
+	readOps  []*readOp
+	writeOps []*writeOp
+	requests []*request
+
 	// Fault injection (nil injector when no scenario is attached; see
 	// faults.go for the recovery path).
 	inj         *faults.Injector

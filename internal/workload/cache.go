@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// TraceCache memoizes generated traces and aging preambles per normalized
+// profile. Every (profile, system) pair of an experiment sweep replays the
+// same profile trace — the system knobs change the device, never the host
+// stream — so generating it once and sharing it across systems removes the
+// largest repeated cost of a sweep. Cached traces are handed out as shared
+// pointers: the simulator replays them through a cursor and never mutates
+// them, and callers must do the same.
+//
+// Generation is deduplicated: two goroutines asking for the same profile
+// concurrently generate it once (the second waits). The cache is safe for
+// concurrent use and bounds itself to a fixed number of profiles with FIFO
+// eviction, so long-lived processes sweeping many profiles do not pin every
+// trace forever.
+type TraceCache struct {
+	mu      sync.Mutex
+	entries map[string]*traceEntry
+	order   []string // insertion order, for bounded FIFO eviction
+	limit   int
+}
+
+// traceEntry is one profile's memoized generation; once provides the
+// single-flight semantics.
+type traceEntry struct {
+	once     sync.Once
+	trace    *Trace
+	preamble *Trace
+	err      error
+}
+
+// defaultTraceCacheLimit bounds the default cache: the paper's sweeps use
+// ~20 distinct profiles, so 64 keeps every realistic sweep fully cached.
+const defaultTraceCacheLimit = 64
+
+// NewTraceCache builds a cache holding at most limit profiles (<= 0 uses
+// the default of 64).
+func NewTraceCache(limit int) *TraceCache {
+	if limit <= 0 {
+		limit = defaultTraceCacheLimit
+	}
+	return &TraceCache{entries: make(map[string]*traceEntry), limit: limit}
+}
+
+// DefaultTraceCache is the process-wide cache the idaflash run helpers use.
+var DefaultTraceCache = NewTraceCache(0)
+
+// profileKey encodes the normalized profile losslessly. Profile is plain
+// data (scalars and a name) and encoding/json emits struct fields in
+// declaration order, so the key is deterministic.
+func profileKey(p Profile) string {
+	b, err := json.Marshal(p)
+	if err != nil {
+		panic(fmt.Sprintf("workload: encoding trace cache key: %v", err))
+	}
+	return string(b)
+}
+
+// Traces returns the profile's trace and aging preamble, generating them on
+// the first request and recalling them afterwards. The returned traces are
+// shared and must be treated as immutable.
+func (c *TraceCache) Traces(p Profile) (trace, preamble *Trace, err error) {
+	np, err := p.Normalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	k := profileKey(np)
+	c.mu.Lock()
+	e := c.entries[k]
+	if e == nil {
+		e = &traceEntry{}
+		c.entries[k] = e
+		c.order = append(c.order, k)
+		for len(c.order) > c.limit {
+			// FIFO eviction; goroutines already holding the evicted
+			// entry still complete against their pointer.
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.trace, e.err = np.Generate()
+		if e.err == nil {
+			e.preamble, e.err = np.AgingPreamble()
+		}
+	})
+	return e.trace, e.preamble, e.err
+}
+
+// Len returns the number of cached profiles (tests and diagnostics).
+func (c *TraceCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# bench.sh — run the repo's key microbenchmarks and emit a JSON snapshot.
+#
+# Usage: scripts/bench.sh [label] [count]
+#
+#   label   snapshot name; output goes to BENCH_<label>.json (default: HEAD
+#           short hash)
+#   count   -count passed to `go test` (default: 5)
+#
+# The snapshot records per-benchmark mean ns/op, B/op, and allocs/op so a PR
+# can commit a BENCH_<pr>.json marker and reviewers can diff hot-path cost
+# without rerunning anything. CI's benchmark job still does the
+# authoritative benchstat comparison against the merge base; this file is
+# the human-readable record.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+label="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}"
+count="${2:-5}"
+out="BENCH_${label}.json"
+
+benches='BenchmarkEngine$|BenchmarkSingleRun$|BenchmarkSingleRunIDA$|BenchmarkCodingMerge$|BenchmarkCodingPlan$|BenchmarkTraceGeneration$'
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "running: $benches (count=$count)" >&2
+go test -run '^$' -bench "$benches" -benchmem -count "$count" . | tee "$raw" >&2
+
+awk -v label="$label" '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] += $3;    b[name] += $5;    allocs[name] += $7
+    cnt[name]++
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+  }
+  END {
+    printf "{\n  \"label\": \"%s\",\n  \"goos\": \"%s\",\n  \"benchmarks\": {\n", label, ENVIRON["GOOS"] != "" ? ENVIRON["GOOS"] : "local"
+    for (i = 1; i <= n; i++) {
+      name = order[i]
+      printf "    \"%s\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.1f}%s\n", \
+        name, ns[name] / cnt[name], b[name] / cnt[name], allocs[name] / cnt[name], i < n ? "," : ""
+    }
+    printf "  }\n}\n"
+  }
+' "$raw" > "$out"
+
+echo "wrote $out" >&2
+cat "$out"
