@@ -1,0 +1,88 @@
+package idaflash_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"idaflash"
+)
+
+// The exported run entry points honor an already-dead context without
+// touching the device: the contract a service layer builds on. (Mid-run
+// cancellation with simulated-time bounds is pinned deterministically in the
+// ssd and array package tests, where the engine clock is reachable.)
+
+func TestRunWorkloadContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := smallProfile(t, "proj_3")
+	if _, err := idaflash.RunWorkloadContext(ctx, p, idaflash.IDA(0.2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunWorkloadContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	p := smallProfile(t, "proj_3")
+	if _, err := idaflash.RunWorkloadContext(ctx, p, idaflash.Baseline()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunArrayWorkloadContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := smallProfile(t, "proj_3")
+	sys := idaflash.Baseline()
+	sys.Devices = 3
+	if _, err := idaflash.RunArrayWorkloadContext(ctx, p, sys); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunWorkloadContextBackgroundUnchanged: a Background context must be
+// free — RunWorkload and RunWorkloadContext(Background) produce identical
+// scalar results.
+func TestRunWorkloadContextBackgroundUnchanged(t *testing.T) {
+	p := smallProfile(t, "proj_3")
+	a, err := idaflash.RunWorkload(p, idaflash.IDA(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := idaflash.RunWorkloadContext(context.Background(), p, idaflash.IDA(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Scalars() != b.Scalars() {
+		t.Error("RunWorkloadContext(Background) diverged from RunWorkload")
+	}
+}
+
+// TestIsInvariantError: the facade predicate recognizes contained invariant
+// violations through wrapping, and rejects ordinary errors. (The injection
+// path itself — a panic inside the simulation surfacing as *sim.InvariantError
+// from the run, with siblings surviving — is pinned in the ssd and array
+// package tests, which share the exact code path RunWorkload uses.)
+func TestIsInvariantError(t *testing.T) {
+	ie := &idaflash.InvariantError{Value: "bad", At: 7}
+	if !idaflash.IsInvariantError(ie) {
+		t.Error("bare InvariantError not recognized")
+	}
+	if !idaflash.IsInvariantError(fmt.Errorf("array: device 2: %w", ie)) {
+		t.Error("wrapped InvariantError not recognized")
+	}
+	if idaflash.IsInvariantError(errors.New("plain failure")) {
+		t.Error("plain error misclassified as invariant")
+	}
+	if idaflash.IsInvariantError(nil) {
+		t.Error("nil misclassified as invariant")
+	}
+	if msg := ie.Error(); !strings.Contains(msg, "bad") {
+		t.Errorf("InvariantError message %q does not name the panic value", msg)
+	}
+}

@@ -1,0 +1,100 @@
+// Command idaserver serves the experiment runner over HTTP: named workload
+// profiles run on simulated devices with bounded concurrency, admission
+// control, per-request deadlines, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	idaserver [-listen :8080] [-workers N] [-queue N] [-requests N]
+//	          [-timeout 2m] [-max-timeout 10m] [-drain-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/run       {"profile":"usr_1","system":{"ida":true,"error_rate":0.2}}
+//	GET  /v1/profiles  list runnable profile names
+//	GET  /v1/stats     admission/completion counters
+//	GET  /healthz      liveness (always 200 while the process serves)
+//	GET  /readyz       readiness (503 once draining)
+//
+// On SIGTERM or interrupt the server stops accepting work (/readyz flips to
+// 503, queued runs are rejected), gives in-flight runs the drain timeout to
+// finish, cancels whatever remains, and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"idaflash/internal/server"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "max concurrent simulations; 0 means GOMAXPROCS")
+		queue        = flag.Int("queue", 0, "admission queue depth beyond the workers; 0 means 2x workers")
+		requests     = flag.Int("requests", 0, "default per-trace request budget; 0 uses the experiments default")
+		timeout      = flag.Duration("timeout", 2*time.Minute, "default per-run deadline")
+		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "largest per-run deadline a client may request")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight runs get to finish on shutdown")
+	)
+	flag.Parse()
+	if err := run(*listen, server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Requests:       *requests,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Log:            log.New(os.Stderr, "idaserver: ", log.LstdFlags),
+	}, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "idaserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, cfg server.Config, drainTimeout time.Duration) error {
+	srv := server.New(cfg)
+	hs := &http.Server{Addr: listen, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		cfg.Log.Printf("listening on %s", listen)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err // bind failure or unexpected server exit
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second SIGTERM kills us
+
+	// Drain order matters: flip readiness and reject queued work first,
+	// then give in-flight runs their deadline, then close the listener.
+	// Closing the listener first would drop the /readyz endpoint while
+	// orchestrators still probe it.
+	cfg.Log.Printf("draining (up to %v)", drainTimeout)
+	srv.BeginDrain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		cfg.Log.Printf("drain deadline hit; remaining runs cancelled")
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	cfg.Log.Printf("drained; exiting")
+	return nil
+}

@@ -28,6 +28,8 @@
 package idaflash
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -103,6 +105,9 @@ type (
 	// TelemetryExport is a recorded span/time-series snapshot, writable
 	// as Chrome/Perfetto trace JSON or metrics CSV.
 	TelemetryExport = telemetry.Export
+	// InvariantError is a contained simulation invariant violation: the
+	// recovered panic value plus the engine position and stack at capture.
+	InvariantError = sim.InvariantError
 )
 
 // Scheduling policies for System.Scheduler and SSDConfig.Scheduler.
@@ -377,11 +382,25 @@ func BuildConfig(p Profile, sys System) (SSDConfig, Profile, error) {
 // description, returning the measurements. Two calls with identical
 // arguments produce identical results.
 func RunWorkload(p Profile, sys System) (Results, error) {
+	return RunWorkloadContext(context.Background(), p, sys)
+}
+
+// RunWorkloadContext is RunWorkload with cooperative cancellation: when ctx
+// is cancelled (or its deadline passes) the simulation stops within the
+// engine's polling bounds — a few thousand events or a millisecond of
+// simulated progress — and the context's error is returned together with
+// the partial-progress stats accumulated so far. Cancellation never corrupts
+// shared state: the trace cache and experiment memo are cancellation-safe,
+// so an identical rerun after a cancel produces the same bytes as an
+// uninterrupted run. Like every exported entry point it never panics; an
+// invariant violation in the simulation surfaces as a *sim.InvariantError
+// (see IsInvariantError).
+func RunWorkloadContext(ctx context.Context, p Profile, sys System) (Results, error) {
 	if sys.Devices > 1 || sys.Parity {
-		res, err := RunArrayWorkload(p, sys)
+		res, err := RunArrayWorkloadContext(ctx, p, sys)
 		return res.Combined, err
 	}
-	r, _, err := runWorkload(p, sys)
+	r, _, err := runWorkload(ctx, p, sys)
 	return r, err
 }
 
@@ -390,6 +409,14 @@ func RunWorkload(p Profile, sys System) (Results, error) {
 // both the merged and the per-device measurements. sys.Devices of 0 or 1
 // runs a one-device array.
 func RunArrayWorkload(p Profile, sys System) (ArrayResults, error) {
+	return RunArrayWorkloadContext(context.Background(), p, sys)
+}
+
+// RunArrayWorkloadContext is RunArrayWorkload with cooperative cancellation
+// and failure isolation: cancelling ctx stops every member device, and one
+// member's failure cancels its siblings instead of letting them run on. The
+// merged partial stats accompany any error.
+func RunArrayWorkloadContext(ctx context.Context, p Profile, sys System) (ArrayResults, error) {
 	devices := sys.Devices
 	if devices < 1 {
 		devices = 1
@@ -425,10 +452,10 @@ func RunArrayWorkload(p Profile, sys System) (ArrayResults, error) {
 	if err != nil {
 		return ArrayResults{}, err
 	}
-	return arr.Run(tr, RunOptions{Preamble: pre})
+	return arr.RunContext(ctx, tr, RunOptions{Preamble: pre})
 }
 
-func runWorkload(p Profile, sys System) (Results, *SSD, error) {
+func runWorkload(ctx context.Context, p Profile, sys System) (Results, *SSD, error) {
 	cfg, p, err := BuildConfig(p, sys)
 	if err != nil {
 		return Results{}, nil, err
@@ -445,8 +472,18 @@ func runWorkload(p Profile, sys System) (Results, *SSD, error) {
 	if err != nil {
 		return Results{}, nil, err
 	}
-	res, err := dev.Run(tr, RunOptions{Preamble: pre})
+	res, err := dev.RunContext(ctx, tr, RunOptions{Preamble: pre})
 	return res, dev, err
+}
+
+// IsInvariantError reports whether err is (or wraps) a contained simulation
+// invariant violation — a panic in the sim/FTL hot path that the run
+// boundary recovered into a failed run. The full capture (engine time, event
+// count, stack) is available via errors.As against *sim.InvariantError's
+// re-export, InvariantError.
+func IsInvariantError(err error) bool {
+	var ie *InvariantError
+	return errors.As(err, &ie)
 }
 
 // RunWithFollowup runs the profile under the system, then continues on the
@@ -456,7 +493,7 @@ func runWorkload(p Profile, sys System) (Results, *SSD, error) {
 // read-intensive phase that leaves IDA blocks behind, how much extra
 // garbage collection does a write-intensive phase pay to reclaim them?
 func RunWithFollowup(p Profile, sys System, followup Profile) (Results, Results, error) {
-	first, dev, err := runWorkload(p, sys)
+	first, dev, err := runWorkload(context.Background(), p, sys)
 	if err != nil {
 		return Results{}, Results{}, err
 	}

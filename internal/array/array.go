@@ -12,6 +12,7 @@
 package array
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -184,6 +185,20 @@ type Results struct {
 // isolation — and merges the measurements. Like ssd.Run it may be called
 // once per array.
 func (a *Array) Run(tr *workload.Trace, opts ssd.RunOptions) (Results, error) {
+	return a.RunContext(context.Background(), tr, opts)
+}
+
+// RunContext is Run with cooperative cancellation and failure isolation.
+// Cancelling ctx stops every member within the engine polling bounds. When
+// one member fails on its own (an invariant violation, an undersized
+// device), its siblings are cancelled rather than left to run to completion
+// for a result that can no longer be used; the member's own error — not the
+// sibling cancellations it caused — is what RunContext returns. Either way
+// the merged partial per-device stats accompany the error. Member panics
+// are contained inside ssd.RunContext, which matters doubly here: an
+// uncontained panic on a device goroutine would kill the whole process, not
+// just unwind one call stack.
+func (a *Array) RunContext(ctx context.Context, tr *workload.Trace, opts ssd.RunOptions) (Results, error) {
 	if err := tr.Validate(); err != nil {
 		return Results{}, err
 	}
@@ -196,6 +211,8 @@ func (a *Array) Run(tr *workload.Trace, opts ssd.RunOptions) (Results, error) {
 	if opts.Preamble != nil {
 		pres = split(opts.Preamble, a.cfg.Devices, a.unit)
 	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	per := make([]ssd.Results, len(a.devs))
 	errs := make([]error, len(a.devs))
 	var wg sync.WaitGroup
@@ -211,17 +228,23 @@ func (a *Array) Run(tr *workload.Trace, opts ssd.RunOptions) (Results, error) {
 			if pres != nil {
 				o.Preamble = pres[d]
 			}
-			res, err := a.devs[d].Run(subs[d], o)
+			res, err := a.devs[d].RunContext(runCtx, subs[d], o)
+			per[d] = res // partial stats survive a failed member
 			if err != nil {
 				errs[d] = fmt.Errorf("array: device %d: %w", d, err)
-				return
+				cancel()
 			}
-			per[d] = res
 		}(d)
 	}
 	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
-		return Results{}, err
+	if err := joinRunErrors(ctx, errs); err != nil {
+		return Results{
+			Combined:  Merge(tr.Name, per),
+			PerDevice: per,
+			Devices:   a.cfg.Devices,
+			StripeKB:  a.cfg.StripeKB,
+			Parity:    a.cfg.Parity,
+		}, err
 	}
 	res := Results{
 		Combined:  Merge(tr.Name, per),
@@ -246,6 +269,39 @@ func (a *Array) Run(tr *workload.Trace, opts ssd.RunOptions) (Results, error) {
 		}
 	}
 	return res, nil
+}
+
+// joinRunErrors reduces the per-device errors of one array run. Real
+// failures (invariant violations, sizing errors) outrank the context
+// cancellations they triggered on their siblings; pure cancellations — the
+// caller's ctx, or its deadline — collapse to the caller-visible context
+// error so errors.Is(err, context.Canceled) works on the result.
+func joinRunErrors(ctx context.Context, errs []error) error {
+	var real []error
+	var ctxErr error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if errors.Is(e, context.Canceled) || errors.Is(e, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = e
+			}
+			continue
+		}
+		real = append(real, e)
+	}
+	if len(real) > 0 {
+		return errors.Join(real...)
+	}
+	if ctxErr != nil {
+		// Report the caller's own context error when it is the cause.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return ctxErr
+	}
+	return nil
 }
 
 // Merge combines per-device results into one array-level ssd.Results (see

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -50,9 +51,9 @@ func (o Options) withDefaults() Options {
 // Runner memoizes simulation runs across experiments.
 type Runner struct {
 	opts Options
-	// run executes one simulation; idaflash.RunWorkload in production,
-	// replaced by tests counting actual invocations.
-	run func(workload.Profile, idaflash.System) (idaflash.Results, error)
+	// run executes one simulation; idaflash.RunWorkloadContext in
+	// production, replaced by tests counting actual invocations.
+	run func(context.Context, workload.Profile, idaflash.System) (idaflash.Results, error)
 
 	mu    sync.Mutex
 	cache map[string]*runEntry
@@ -63,10 +64,17 @@ type Runner struct {
 // installed before the simulation starts and done is closed when it
 // finishes, giving Run singleflight semantics: concurrent misses on the
 // same key wait for the first goroutine's result instead of re-simulating.
+//
+// purged marks an entry whose execution was cancelled: its result reflects
+// the executing caller's context, not the key, so the entry is removed from
+// the cache before done closes and waiters retry against a fresh entry.
+// This is what keeps the memo cancellation-safe — a cancelled sweep can
+// never leave a partial result behind for an identical rerun to recall.
 type runEntry struct {
-	done chan struct{}
-	res  idaflash.Results
-	err  error
+	done   chan struct{}
+	res    idaflash.Results
+	err    error
+	purged bool
 }
 
 // NewRunner builds a runner.
@@ -74,7 +82,7 @@ func NewRunner(opts Options) *Runner {
 	opts = opts.withDefaults()
 	return &Runner{
 		opts:  opts,
-		run:   idaflash.RunWorkload,
+		run:   idaflash.RunWorkloadContext,
 		cache: make(map[string]*runEntry),
 		sem:   make(chan struct{}, opts.Parallel),
 	}
@@ -93,43 +101,84 @@ type pair struct {
 // scalar fields, and encoding/json emits them in declaration order, so the
 // encoding is deterministic and lossless (an earlier hand-rolled key
 // truncated ErrorRate to a permille and silently omitted newer fields).
-func key(p workload.Profile, sys idaflash.System) string {
+// An encoding failure is returned rather than panicked; Run falls back to
+// an uncached execution.
+func key(p workload.Profile, sys idaflash.System) (string, error) {
 	b, err := json.Marshal(struct {
 		P workload.Profile
 		S idaflash.System
 	}{p, sys})
 	if err != nil {
-		// Both types are plain data; failure here is a programming error.
-		panic(fmt.Sprintf("experiments: encoding cache key: %v", err))
+		return "", fmt.Errorf("experiments: encoding cache key: %w", err)
 	}
-	return string(b)
+	return string(b), nil
 }
 
 // Run executes (or recalls) one simulation. Concurrent calls with the same
 // key run the simulation once: the first caller executes it, later callers
 // block on its completion and share the result.
 func (r *Runner) Run(p workload.Profile, sys idaflash.System) (idaflash.Results, error) {
-	k := key(p, sys)
-	r.mu.Lock()
-	if e, ok := r.cache[k]; ok {
+	return r.RunContext(context.Background(), p, sys)
+}
+
+// RunContext is Run with cooperative cancellation. The singleflight memo
+// stays consistent under cancellation: a run stopped by its caller's
+// context is purged from the cache before its waiters wake, so they (and
+// any later identical request) re-execute instead of inheriting a partial
+// result, and a waiter whose own context ends stops waiting without
+// disturbing the executing run.
+func (r *Runner) RunContext(ctx context.Context, p workload.Profile, sys idaflash.System) (idaflash.Results, error) {
+	k, kerr := key(p, sys)
+	if kerr != nil {
+		// Uncacheable is not unrunnable: execute without memoizing.
+		return r.execute(ctx, p, sys)
+	}
+	for {
+		r.mu.Lock()
+		if e, ok := r.cache[k]; ok {
+			r.mu.Unlock()
+			select {
+			case <-e.done:
+				if e.purged {
+					continue // the executor was cancelled; retry fresh
+				}
+				return e.res, e.err
+			case <-ctx.Done():
+				return idaflash.Results{}, ctx.Err()
+			}
+		}
+		e := &runEntry{done: make(chan struct{})}
+		r.cache[k] = e
 		r.mu.Unlock()
-		<-e.done
+
+		e.res, e.err = r.execute(ctx, p, sys)
+		if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+			r.mu.Lock()
+			delete(r.cache, k)
+			r.mu.Unlock()
+			e.purged = true // published to waiters by close(e.done)
+		}
+		close(e.done)
 		return e.res, e.err
 	}
-	e := &runEntry{done: make(chan struct{})}
-	r.cache[k] = e
-	r.mu.Unlock()
+}
 
-	r.sem <- struct{}{}
+// execute runs one simulation under the concurrency cap, skipping the queue
+// wait when ctx ends first.
+func (r *Runner) execute(ctx context.Context, p workload.Profile, sys idaflash.System) (idaflash.Results, error) {
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return idaflash.Results{}, ctx.Err()
+	}
 	start := time.Now()
-	e.res, e.err = r.run(p, sys)
+	res, err := r.run(ctx, p, sys)
 	<-r.sem
-	close(e.done)
 
 	if r.opts.Progress != nil {
 		fmt.Fprintf(r.opts.Progress, "ran %-8s %-12s in %v\n", p.Name, sys.Name, time.Since(start).Round(time.Millisecond))
 	}
-	return e.res, e.err
+	return res, err
 }
 
 // RunAll warms the cache for all pairs concurrently. Every failing pair is

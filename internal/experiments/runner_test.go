@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -34,13 +35,20 @@ func TestKeyDistinguishesConfigs(t *testing.T) {
 		{label: "footprint", a: base, b: base, pa: p,
 			pb: func() workload.Profile { q := p; q.FootprintMB = 64; return q }()},
 	}
+	mustKey := func(p workload.Profile, s idaflash.System) string {
+		k, err := key(p, s)
+		if err != nil {
+			t.Fatalf("key: %v", err)
+		}
+		return k
+	}
 	for _, c := range cases {
-		if key(c.pa, c.a) == key(c.pb, c.b) {
+		if mustKey(c.pa, c.a) == mustKey(c.pb, c.b) {
 			t.Errorf("%s: distinct configs share a cache key", c.label)
 		}
 	}
 	// Identical inputs must still collide (that is the cache's point).
-	if key(p, base) != key(p, base) {
+	if mustKey(p, base) != mustKey(p, base) {
 		t.Error("identical configs produced different keys")
 	}
 }
@@ -83,7 +91,7 @@ func TestRunSingleflight(t *testing.T) {
 	var invocations int32
 	started := make(chan struct{})
 	release := make(chan struct{})
-	r.run = func(p workload.Profile, sys idaflash.System) (idaflash.Results, error) {
+	r.run = func(_ context.Context, p workload.Profile, sys idaflash.System) (idaflash.Results, error) {
 		if atomic.AddInt32(&invocations, 1) == 1 {
 			close(started)
 		}

@@ -59,7 +59,7 @@ func TestProgramFailureRemapsWrite(t *testing.T) {
 	// The grown-bad blocks are empty, so GC reclaims them next — and their
 	// erase retires them instead of returning them to the free list.
 	f.opts.GCFreeBlocks = tinyGeom().BlocksPerPlane
-	jobs := f.CollectGC(0)
+	jobs := mustCollectGC(t, f, 0)
 	if len(jobs) != 2 {
 		t.Fatalf("GC reclaimed %d blocks, want the 2 grown-bad ones", len(jobs))
 	}
@@ -108,7 +108,7 @@ func TestEraseFailureRetires(t *testing.T) {
 	}
 	f.opts.GCFreeBlocks = 6
 	freeBefore := f.FreeBlocks(0)
-	f.CollectGC(0)
+	mustCollectGC(t, f, 0)
 	st := f.Stats()
 	if st.EraseFailures == 0 {
 		t.Fatal("no erase failure recorded")
@@ -129,7 +129,7 @@ func TestEraseFailureRetires(t *testing.T) {
 	}
 	// Retired blocks are out of the GC candidate set: another pass finds
 	// nothing new to reclaim (remaining blocks are fully valid).
-	if jobs := f.CollectGC(0); len(jobs) != 0 {
+	if jobs := mustCollectGC(t, f, 0); len(jobs) != 0 {
 		t.Errorf("second GC pass reclaimed %d blocks, want 0", len(jobs))
 	}
 	for i := LPN(0); i < 24; i++ {

@@ -306,7 +306,7 @@ func TestWearStats(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		f.CollectGC(0)
+		mustCollectGC(t, f, 0)
 	}
 	w = f.WearStats()
 	if w.MaxErase == 0 {
@@ -390,7 +390,7 @@ func TestHooksObserveOperations(t *testing.T) {
 		if _, err := f.Write(LPN(i%20), sim.Time(i)); err != nil {
 			t.Fatal(err)
 		}
-		f.CollectGC(sim.Time(i))
+		mustCollectGC(t, f, sim.Time(i))
 	}
 	for i := 0; i < 20; i++ {
 		if _, ok := f.Read(LPN(i)); !ok {
@@ -398,7 +398,7 @@ func TestHooksObserveOperations(t *testing.T) {
 		}
 	}
 	f.CloseActiveBlocks()
-	f.DueRefreshes(sim.Time(2 * time.Minute))
+	mustDueRefreshes(t, f, sim.Time(2*time.Minute))
 
 	s := f.Stats()
 	if uint64(writes) != s.HostWrites {
@@ -434,7 +434,7 @@ func TestUsageCountsIDAValidPages(t *testing.T) {
 		}
 	}
 	f.CloseActiveBlocks()
-	f.DueRefreshes(sim.Time(2 * time.Minute))
+	mustDueRefreshes(t, f, sim.Time(2*time.Minute))
 	u := f.Usage()
 	if u.IDABlocks == 0 {
 		t.Fatal("no IDA blocks after an IDA refresh; test is vacuous")

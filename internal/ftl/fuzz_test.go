@@ -67,9 +67,9 @@ func TestRandomOperationsKeepInvariants(t *testing.T) {
 						t.Fatalf("seed %d step %d: senses %d", seed, step, info.Senses)
 					}
 				case op < 95: // GC sweep
-					f.CollectGC(now)
+					mustCollectGC(t, f, now)
 				default: // refresh scan
-					f.DueRefreshes(now)
+					mustDueRefreshes(t, f, now)
 				}
 				if step%500 == 0 {
 					checkInvariants(t, f)
@@ -123,8 +123,8 @@ func TestRandomOperationsMLCAndQLC(t *testing.T) {
 					}
 				}
 				if step%250 == 0 {
-					f.DueRefreshes(now)
-					f.CollectGC(now)
+					mustDueRefreshes(t, f, now)
+					mustCollectGC(t, f, now)
 					checkInvariants(t, f)
 				}
 			}

@@ -1,6 +1,8 @@
 package ftl
 
 import (
+	"fmt"
+
 	"idaflash/internal/flash"
 	"idaflash/internal/sim"
 )
@@ -35,38 +37,51 @@ type GCJob struct {
 // victim is the fully-programmed block with the fewest valid pages, ties
 // broken toward the lowest erase count (greedy wear-aware, after Bux &
 // Iliadis). Planes with nothing reclaimable are left alone; the next write
-// to them will fail loudly instead.
-func (f *FTL) CollectGC(now sim.Time) []GCJob {
+// to them will fail instead. A non-nil error means a relocation ran out of
+// space mid-collection — an undersized device — and poisons the run: the
+// caller must stop the simulation, since the victim block is part-moved.
+// Jobs completed before the failure are still returned so their timing can
+// be charged.
+func (f *FTL) CollectGC(now sim.Time) ([]GCJob, error) {
 	jobs := f.pendingGC
 	f.pendingGC = nil
 	for pl := range f.planes {
 		for len(f.planes[pl].free) < f.opts.GCFreeBlocks {
-			job, ok := f.collectPlane(flash.PlaneID(pl), now)
+			job, ok, err := f.collectPlane(flash.PlaneID(pl), now)
+			if err != nil {
+				return jobs, err
+			}
 			if !ok {
 				break
 			}
 			jobs = append(jobs, job)
 		}
 	}
-	return jobs
+	return jobs, nil
 }
 
 // ensureFree keeps a plane writable by collecting inline when its free-block
 // count falls below the watermark. The jobs are buffered for the next
-// CollectGC call so the simulation still charges their timing.
-func (f *FTL) ensureFree(pl flash.PlaneID, now sim.Time) {
+// CollectGC call so the simulation still charges their timing. Like
+// CollectGC, a non-nil error means a mid-collection allocation failure that
+// must end the run.
+func (f *FTL) ensureFree(pl flash.PlaneID, now sim.Time) error {
 	for len(f.planes[pl].free) < f.opts.GCFreeBlocks {
-		job, ok := f.collectPlane(pl, now)
+		job, ok, err := f.collectPlane(pl, now)
+		if err != nil {
+			return err
+		}
 		if !ok {
-			return
+			return nil
 		}
 		f.pendingGC = append(f.pendingGC, job)
 	}
+	return nil
 }
 
 // collectPlane reclaims one block in the plane. It reports false when no
 // victim exists or reclaiming would not gain space.
-func (f *FTL) collectPlane(pl flash.PlaneID, now sim.Time) (GCJob, bool) {
+func (f *FTL) collectPlane(pl flash.PlaneID, now sim.Time) (GCJob, bool, error) {
 	ps := f.planes[pl]
 	victim := -1
 	var vb *block
@@ -84,12 +99,12 @@ func (f *FTL) collectPlane(pl flash.PlaneID, now sim.Time) (GCJob, bool) {
 		}
 	}
 	if vb == nil {
-		return GCJob{}, false
+		return GCJob{}, false, nil
 	}
 	// Reclaiming a block whose valid pages would fill a whole new block
 	// gains nothing; stop rather than churn.
 	if vb.validCount >= f.order.Len() {
-		return GCJob{}, false
+		return GCJob{}, false, nil
 	}
 	// The victim's valid pages relocate within this plane; decline when
 	// they would not fit in the plane's remaining space (the plane then
@@ -99,7 +114,7 @@ func (f *FTL) collectPlane(pl flash.PlaneID, now sim.Time) (GCJob, bool) {
 		space += f.order.Len() - ps.blocks[ps.active].nextStep
 	}
 	if vb.validCount > space {
-		return GCJob{}, false
+		return GCJob{}, false, nil
 	}
 	job := GCJob{
 		Victim:       flash.BlockAddr{Plane: pl, Block: victim},
@@ -115,8 +130,9 @@ func (f *FTL) collectPlane(pl flash.PlaneID, now sim.Time) (GCJob, bool) {
 		if err != nil {
 			// The plane is below watermark but still has its active
 			// block; running out mid-GC means the device is
-			// undersized. Surface it loudly.
-			panic("ftl: allocation failed during GC: " + err.Error())
+			// undersized. The victim is part-moved, so the run must
+			// stop here.
+			return GCJob{}, false, fmt.Errorf("ftl: allocation failed during GC of p%d/b%d: %w", pl, victim, err)
 		}
 		job.Moves = append(job.Moves, MoveOp{
 			From:           f.addrOf(src),
@@ -133,5 +149,5 @@ func (f *FTL) collectPlane(pl flash.PlaneID, now sim.Time) (GCJob, bool) {
 		f.stats.GCIDAVictims++
 	}
 	f.opts.Hooks.gc(&job)
-	return job, true
+	return job, true, nil
 }

@@ -22,7 +22,7 @@ func TestGCReclaimsInvalidBlocks(t *testing.T) {
 	if free := f.FreeBlocks(0); free >= 3 {
 		t.Skipf("device did not drain below watermark (free=%d)", free)
 	}
-	jobs := f.CollectGC(0)
+	jobs := mustCollectGC(t, f, 0)
 	if len(jobs) == 0 {
 		t.Fatal("GC produced no jobs below watermark")
 	}
@@ -58,7 +58,7 @@ func TestGCMovesValidPages(t *testing.T) {
 	for i := LPN(0); i < 10; i++ {
 		f.Write(i, 0) // rewrites land in block 2+
 	}
-	jobs := f.CollectGC(0)
+	jobs := mustCollectGC(t, f, 0)
 	if len(jobs) == 0 {
 		t.Fatal("no GC jobs")
 	}
@@ -116,7 +116,10 @@ func TestGCPrefersLeastValidVictim(t *testing.T) {
 	for i := LPN(12); i < 14; i++ {
 		f.Write(i, 0)
 	}
-	job, ok := f.collectPlane(flash.PlaneID(0), 0)
+	job, ok, err := f.collectPlane(flash.PlaneID(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("no victim found")
 	}
@@ -141,7 +144,10 @@ func TestGCWearTieBreak(t *testing.T) {
 	// Both original blocks now fully invalid; bump one's erase count by
 	// reclaiming and refilling it... simpler: tamper directly.
 	f.planes[0].blocks[0].eraseCount = 5
-	job, ok := f.collectPlane(flash.PlaneID(0), 0)
+	job, ok, err := f.collectPlane(flash.PlaneID(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("no victim")
 	}
@@ -153,7 +159,7 @@ func TestGCWearTieBreak(t *testing.T) {
 
 func TestGCNothingToDo(t *testing.T) {
 	f := mustFTL(t, Options{Geometry: tinyGeom()})
-	if jobs := f.CollectGC(0); jobs != nil {
+	if jobs := mustCollectGC(t, f, 0); jobs != nil {
 		t.Errorf("GC on an empty device returned %d jobs", len(jobs))
 	}
 	// All-valid device: victim would gain nothing, so GC declines.
@@ -161,7 +167,7 @@ func TestGCNothingToDo(t *testing.T) {
 	for i := LPN(0); i < 24; i++ {
 		f2.Write(i, 0)
 	}
-	if _, ok := f2.collectPlane(flash.PlaneID(0), 0); ok {
+	if _, ok, _ := f2.collectPlane(flash.PlaneID(0), 0); ok {
 		t.Error("GC reclaimed a fully-valid block")
 	}
 }

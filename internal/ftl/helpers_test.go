@@ -1,0 +1,28 @@
+package ftl
+
+import (
+	"testing"
+
+	"idaflash/internal/sim"
+)
+
+// mustCollectGC and mustDueRefreshes run the background sweeps and fail the
+// test on an allocation error, which on these well-sized test devices means
+// a bug, not an undersized config.
+func mustCollectGC(t testing.TB, f *FTL, now sim.Time) []GCJob {
+	t.Helper()
+	jobs, err := f.CollectGC(now)
+	if err != nil {
+		t.Fatalf("CollectGC: %v", err)
+	}
+	return jobs
+}
+
+func mustDueRefreshes(t testing.TB, f *FTL, now sim.Time) []RefreshJob {
+	t.Helper()
+	jobs, err := f.DueRefreshes(now)
+	if err != nil {
+		t.Fatalf("DueRefreshes: %v", err)
+	}
+	return jobs
+}

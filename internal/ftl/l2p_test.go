@@ -93,15 +93,15 @@ func TestL2PDenseSparseEquivalence(t *testing.T) {
 				}
 			}
 			if step%97 == 0 {
-				dj := dense.CollectGC(now)
-				sj := sparse.CollectGC(now)
+				dj := mustCollectGC(t, dense, now)
+				sj := mustCollectGC(t, sparse, now)
 				if len(dj) != len(sj) {
 					t.Fatalf("seed %d step %d: GC job counts diverged: %d vs %d", seed, step, len(dj), len(sj))
 				}
 			}
 			if step%523 == 0 {
-				dr := dense.DueRefreshes(now)
-				sr := sparse.DueRefreshes(now)
+				dr := mustDueRefreshes(t, dense, now)
+				sr := mustDueRefreshes(t, sparse, now)
 				if len(dr) != len(sr) {
 					t.Fatalf("seed %d step %d: refresh job counts diverged: %d vs %d", seed, step, len(dr), len(sr))
 				}

@@ -1,6 +1,8 @@
 package ftl
 
 import (
+	"fmt"
+
 	"idaflash/internal/coding"
 	"idaflash/internal/flash"
 	"idaflash/internal/sim"
@@ -48,10 +50,13 @@ type RefreshJob struct {
 // refresh period, returning one job per block. With a zero refresh period
 // it returns nil. Blocks already reprogrammed with the IDA coding are
 // force-reclaimed with the original flow on their next cycle, as Section
-// III-C requires.
-func (f *FTL) DueRefreshes(now sim.Time) []RefreshJob {
+// III-C requires. A non-nil error means a relocation ran out of space
+// mid-refresh (or mid-inline-GC) — an undersized device — and poisons the
+// run; jobs completed before the failure are still returned so their timing
+// can be charged.
+func (f *FTL) DueRefreshes(now sim.Time) ([]RefreshJob, error) {
 	if f.opts.RefreshPeriod == 0 {
-		return nil
+		return nil, nil
 	}
 	var jobs []RefreshJob
 	for pl := range f.planes {
@@ -80,16 +85,22 @@ func (f *FTL) DueRefreshes(now sim.Time) []RefreshJob {
 			// refill it — so re-read the entry and re-check full
 			// eligibility (including age) afterwards; the loop
 			// variable b is stale once GC has run.
-			f.ensureFree(flash.PlaneID(pl), now)
+			if err := f.ensureFree(flash.PlaneID(pl), now); err != nil {
+				return jobs, err
+			}
 			b = ps.blocks[blk]
 			if b == nil || blk == ps.active || b.retired || b.nextStep == 0 ||
 				b.validCount == 0 || now-b.programmedAt < f.opts.RefreshPeriod {
 				continue
 			}
-			jobs = append(jobs, f.refreshBlock(flash.PlaneID(pl), blk, now))
+			job, err := f.refreshBlock(flash.PlaneID(pl), blk, now)
+			if err != nil {
+				return jobs, err
+			}
+			jobs = append(jobs, job)
 		}
 	}
-	return jobs
+	return jobs, nil
 }
 
 // CloseActiveBlocks retires every plane's open block so warmup-era data
@@ -124,7 +135,7 @@ func (f *FTL) StaggerBlockAges(now sim.Time) {
 
 // refreshBlock refreshes one block, choosing the original or IDA-modified
 // flow.
-func (f *FTL) refreshBlock(pl flash.PlaneID, blk int, now sim.Time) RefreshJob {
+func (f *FTL) refreshBlock(pl flash.PlaneID, blk int, now sim.Time) (RefreshJob, error) {
 	b := f.planes[pl].blocks[blk]
 	job := RefreshJob{
 		Target:     flash.BlockAddr{Plane: pl, Block: blk},
@@ -145,10 +156,14 @@ func (f *FTL) refreshBlock(pl flash.PlaneID, blk int, now sim.Time) RefreshJob {
 	}
 
 	useIDA := f.opts.IDAEnabled && !b.ida && !b.refreshed
+	var err error
 	if !useIDA {
-		f.refreshOriginal(pl, blk, now, &job)
+		err = f.refreshOriginal(pl, blk, now, &job)
 	} else {
-		f.refreshIDA(pl, blk, now, &job)
+		err = f.refreshIDA(pl, blk, now, &job)
+	}
+	if err != nil {
+		return RefreshJob{}, err
 	}
 
 	f.stats.Refreshes++
@@ -162,12 +177,12 @@ func (f *FTL) refreshBlock(pl flash.PlaneID, blk int, now sim.Time) RefreshJob {
 		f.stats.IDAKeptPages += uint64(job.KeptPages)
 	}
 	f.opts.Hooks.refresh(&job)
-	return job
+	return job, nil
 }
 
 // refreshOriginal implements Figure 7a: move every valid page to a new
 // block. The emptied target block is reclaimed by GC later.
-func (f *FTL) refreshOriginal(pl flash.PlaneID, blk int, now sim.Time, job *RefreshJob) {
+func (f *FTL) refreshOriginal(pl flash.PlaneID, blk int, now sim.Time, job *RefreshJob) error {
 	b := f.planes[pl].blocks[blk]
 	for page := 0; page < f.geom.PagesPerBlock(); page++ {
 		if !b.valid[page] {
@@ -177,7 +192,7 @@ func (f *FTL) refreshOriginal(pl flash.PlaneID, blk int, now sim.Time, job *Refr
 		senses := f.sensesAt(b, page)
 		prog, err := f.relocateGlobal(src, now)
 		if err != nil {
-			panic("ftl: allocation failed during refresh: " + err.Error())
+			return fmt.Errorf("ftl: allocation failed during refresh of p%d/b%d: %w", pl, blk, err)
 		}
 		job.Moves = append(job.Moves, MoveOp{From: f.addrOf(src), FromSenses: senses, To: prog.Addr, LPN: prog.LPN})
 	}
@@ -185,12 +200,13 @@ func (f *FTL) refreshOriginal(pl flash.PlaneID, blk int, now sim.Time, job *Refr
 	// not re-trigger refresh scans.
 	b.programmedAt = now
 	b.refreshed = true
+	return nil
 }
 
 // refreshIDA implements Figure 7b: relocate only the non-beneficial pages,
 // voltage-adjust the beneficial wordlines, verify the kept pages, and write
 // back any pages the adjustment corrupted.
-func (f *FTL) refreshIDA(pl flash.PlaneID, blk int, now sim.Time, job *RefreshJob) {
+func (f *FTL) refreshIDA(pl flash.PlaneID, blk int, now sim.Time, job *RefreshJob) error {
 	b := f.planes[pl].blocks[blk]
 	type keptPage struct {
 		page   int
@@ -215,7 +231,7 @@ func (f *FTL) refreshIDA(pl flash.PlaneID, blk int, now sim.Time, job *RefreshJo
 				senses := f.sensesAt(b, page)
 				prog, err := f.relocateGlobal(src, now)
 				if err != nil {
-					panic("ftl: allocation failed during IDA refresh: " + err.Error())
+					return fmt.Errorf("ftl: allocation failed during IDA refresh of p%d/b%d: %w", pl, blk, err)
 				}
 				job.Moves = append(job.Moves, MoveOp{From: f.addrOf(src), FromSenses: senses, To: prog.Addr, LPN: prog.LPN})
 			}
@@ -228,7 +244,7 @@ func (f *FTL) refreshIDA(pl flash.PlaneID, blk int, now sim.Time, job *RefreshJo
 			senses := f.sensesAt(b, page)
 			prog, err := f.relocateGlobal(src, now)
 			if err != nil {
-				panic("ftl: allocation failed during IDA refresh: " + err.Error())
+				return fmt.Errorf("ftl: allocation failed during IDA refresh of p%d/b%d: %w", pl, blk, err)
 			}
 			job.Moves = append(job.Moves, MoveOp{From: f.addrOf(src), FromSenses: senses, To: prog.Addr, LPN: prog.LPN})
 		}
@@ -256,7 +272,7 @@ func (f *FTL) refreshIDA(pl flash.PlaneID, blk int, now sim.Time, job *RefreshJo
 		// the block emptied exactly like an original refresh.
 		b.programmedAt = now
 		b.refreshed = true
-		return
+		return nil
 	}
 
 	// Steps 5-8: verify-read every kept page; corrupted ones are written
@@ -270,7 +286,7 @@ func (f *FTL) refreshIDA(pl flash.PlaneID, blk int, now sim.Time, job *RefreshJo
 			src := f.packPPN(pl, blk, kp.page)
 			prog, err := f.relocateGlobal(src, now)
 			if err != nil {
-				panic("ftl: allocation failed during IDA write-back: " + err.Error())
+				return fmt.Errorf("ftl: allocation failed during IDA write-back of p%d/b%d: %w", pl, blk, err)
 			}
 			job.CorruptedMoves = append(job.CorruptedMoves, MoveOp{From: f.addrOf(src), FromSenses: kp.senses, To: prog.Addr, LPN: prog.LPN})
 		} else {
@@ -282,4 +298,5 @@ func (f *FTL) refreshIDA(pl flash.PlaneID, blk int, now sim.Time, job *RefreshJo
 	b.refreshed = true
 	b.programmedAt = now // reclaimed on the next refresh cycle
 	job.IDAApplied = true
+	return nil
 }

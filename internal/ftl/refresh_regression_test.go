@@ -52,7 +52,7 @@ func TestDueRefreshesReChecksAfterInlineGC(t *testing.T) {
 	}
 	f.opts.GCFreeBlocks = 2
 
-	jobs := f.DueRefreshes(now)
+	jobs := mustDueRefreshes(t, f, now)
 
 	// Inline GC collected b1 (4 moves open b7), then b2 (10 moves close b7
 	// and reopen the just-erased b1), then b3 (11 moves close b1 — now full
@@ -99,7 +99,7 @@ func TestRefreshIDAOnlyInvalid(t *testing.T) {
 	if _, err := f.Write(0, 0); err != nil {
 		t.Fatal(err)
 	}
-	jobs := f.DueRefreshes(11 * hour)
+	jobs := mustDueRefreshes(t, f, 11*hour)
 	if len(jobs) != 1 {
 		t.Fatalf("got %d refresh jobs, want 1", len(jobs))
 	}
@@ -148,7 +148,7 @@ func TestRefreshIDAOnlyInvalidAllValid(t *testing.T) {
 		}
 	}
 	now := 11 * hour
-	jobs := f.DueRefreshes(now)
+	jobs := mustDueRefreshes(t, f, now)
 	if len(jobs) != 1 {
 		t.Fatalf("got %d refresh jobs, want 1", len(jobs))
 	}
@@ -176,7 +176,7 @@ func TestRefreshIDAOnlyInvalidAllValid(t *testing.T) {
 	if st.Refreshes != 1 || st.IDARefreshes != 0 {
 		t.Errorf("Refreshes=%d IDARefreshes=%d, want 1/0", st.Refreshes, st.IDARefreshes)
 	}
-	if jobs := f.DueRefreshes(now); len(jobs) != 0 {
+	if jobs := mustDueRefreshes(t, f, now); len(jobs) != 0 {
 		t.Errorf("second scan produced %d jobs for the emptied block", len(jobs))
 	}
 	checkInvariants(t, f)

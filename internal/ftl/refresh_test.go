@@ -29,7 +29,7 @@ func TestRefreshDisabled(t *testing.T) {
 	for i := LPN(0); i < 12; i++ {
 		f.Write(i, 0)
 	}
-	if jobs := f.DueRefreshes(1000 * hour); jobs != nil {
+	if jobs := mustDueRefreshes(t, f, 1000*hour); jobs != nil {
 		t.Errorf("refresh disabled but %d jobs returned", len(jobs))
 	}
 }
@@ -39,10 +39,10 @@ func TestRefreshNotDueBeforePeriod(t *testing.T) {
 	for i := LPN(0); i < 12; i++ {
 		f.Write(i, 0)
 	}
-	if jobs := f.DueRefreshes(5 * hour); len(jobs) != 0 {
+	if jobs := mustDueRefreshes(t, f, 5*hour); len(jobs) != 0 {
 		t.Errorf("refresh fired %d jobs before the period", len(jobs))
 	}
-	if jobs := f.DueRefreshes(11 * hour); len(jobs) != 1 {
+	if jobs := mustDueRefreshes(t, f, 11*hour); len(jobs) != 1 {
 		t.Errorf("refresh fired %d jobs after the period, want 1", len(jobs))
 	}
 }
@@ -53,7 +53,7 @@ func TestOriginalRefreshMovesEverything(t *testing.T) {
 		f.Write(i, 0)
 	}
 	f.Write(0, 0) // one page invalid in the target block
-	jobs := f.DueRefreshes(11 * hour)
+	jobs := mustDueRefreshes(t, f, 11*hour)
 	if len(jobs) == 0 {
 		t.Fatal("no refresh jobs")
 	}
@@ -84,7 +84,7 @@ func TestOriginalRefreshMovesEverything(t *testing.T) {
 		}
 	}
 	// The same block must not refresh again immediately.
-	if jobs := f.DueRefreshes(11 * hour); len(jobs) != 0 {
+	if jobs := mustDueRefreshes(t, f, 11*hour); len(jobs) != 0 {
 		t.Errorf("block re-refreshed %d times in one scan cycle", len(jobs))
 	}
 	checkInvariants(t, f)
@@ -100,7 +100,7 @@ func TestIDARefreshCase2Wordline(t *testing.T) {
 	for w := LPN(0); w < 4; w++ {
 		f.Write(3*w, 0)
 	}
-	jobs := f.DueRefreshes(11 * hour)
+	jobs := mustDueRefreshes(t, f, 11*hour)
 	if len(jobs) != 1 {
 		t.Fatalf("jobs = %d", len(jobs))
 	}
@@ -144,7 +144,7 @@ func TestIDARefreshCase1MovesLSB(t *testing.T) {
 		f.Write(i, 0)
 	}
 	// All wordlines fully valid: case 1 moves each LSB and keeps CSB/MSB.
-	jobs := f.DueRefreshes(11 * hour)
+	jobs := mustDueRefreshes(t, f, 11*hour)
 	if len(jobs) != 1 {
 		t.Fatalf("jobs = %d", len(jobs))
 	}
@@ -177,7 +177,7 @@ func TestIDARefreshCase3And4(t *testing.T) {
 	f.Write(1, 0)
 	f.Write(3, 0)
 	f.Write(4, 0)
-	jobs := f.DueRefreshes(11 * hour)
+	jobs := mustDueRefreshes(t, f, 11*hour)
 	if len(jobs) == 0 {
 		t.Fatal("no refresh jobs")
 	}
@@ -204,7 +204,7 @@ func TestIDARefreshCase5To7MovesOnly(t *testing.T) {
 	for w := LPN(0); w < 4; w++ {
 		f.Write(3*w+2, 0)
 	}
-	jobs := f.DueRefreshes(11 * hour)
+	jobs := mustDueRefreshes(t, f, 11*hour)
 	if len(jobs) == 0 {
 		t.Fatal("no refresh jobs")
 	}
@@ -228,7 +228,7 @@ func TestIDARefreshErrorRateOne(t *testing.T) {
 	for i := LPN(0); i < 12; i++ {
 		f.Write(i, 0)
 	}
-	jobs := f.DueRefreshes(11 * hour)
+	jobs := mustDueRefreshes(t, f, 11*hour)
 	if len(jobs) != 1 {
 		t.Fatalf("jobs = %d", len(jobs))
 	}
@@ -260,14 +260,14 @@ func TestIDABlockForcedReclaimNextCycle(t *testing.T) {
 	for i := LPN(0); i < 12; i++ {
 		f.Write(i, 0)
 	}
-	jobs := f.DueRefreshes(11 * hour)
+	jobs := mustDueRefreshes(t, f, 11*hour)
 	if len(jobs) != 1 || !jobs[0].IDAApplied {
 		t.Fatal("first refresh should apply IDA")
 	}
 	target := jobs[0].Target
 	// Next cycle: the IDA block must be refreshed with the original
 	// flow (moved out entirely), not re-adjusted.
-	jobs = f.DueRefreshes(22 * hour)
+	jobs = mustDueRefreshes(t, f, 22*hour)
 	var second *RefreshJob
 	for i := range jobs {
 		if jobs[i].Target == target {
@@ -299,7 +299,7 @@ func TestRefreshDeterminism(t *testing.T) {
 		for i := LPN(0); i < 6; i++ {
 			f.Write(i*3, 0)
 		}
-		return f.DueRefreshes(11 * hour)
+		return mustDueRefreshes(t, f, 11*hour)
 	}
 	a, b := run(), run()
 	if len(a) != len(b) {
@@ -359,7 +359,7 @@ func TestTableIVShapeAtE20(t *testing.T) {
 	for w := LPN(0); w < 16; w++ {
 		f.Write(3*w, 0)
 	}
-	jobs := f.DueRefreshes(11 * hour)
+	jobs := mustDueRefreshes(t, f, 11*hour)
 	var verify, corrupted int
 	for _, j := range jobs {
 		verify += len(j.VerifyReads)
@@ -404,7 +404,7 @@ func TestIDAOnlyInvalidAblation(t *testing.T) {
 	}
 	// WL0 stays fully valid (case 1); WL1 loses its LSB (case 2).
 	f.Write(3, 0)
-	jobs := f.DueRefreshes(11 * hour)
+	jobs := mustDueRefreshes(t, f, 11*hour)
 	if len(jobs) == 0 {
 		t.Fatal("no refresh jobs")
 	}

@@ -30,7 +30,9 @@ func (f *FTL) Write(lpn LPN, now sim.Time) (PageProgram, error) {
 	// is skipped in favour of the next one with room.
 	for try := 0; try < len(f.cwdp); try++ {
 		pl := f.nextAllocPlane()
-		f.ensureFree(pl, now)
+		if gcErr := f.ensureFree(pl, now); gcErr != nil {
+			return PageProgram{}, gcErr
+		}
 		var n int
 		p, n, err = f.claimPage(now, pl)
 		failed += n
@@ -247,7 +249,9 @@ func (f *FTL) relocateGlobal(p ppn, now sim.Time) (PageProgram, error) {
 	var err error
 	for try := 0; try < len(f.cwdp); try++ {
 		pl := f.nextAllocPlane()
-		f.ensureFree(pl, now)
+		if gcErr := f.ensureFree(pl, now); gcErr != nil {
+			return PageProgram{}, gcErr
+		}
 		var prog PageProgram
 		prog, err = f.relocateTo(p, now, pl)
 		if err == nil {

@@ -1,0 +1,450 @@
+// Package server exposes the experiment runner as a hardened HTTP JSON
+// service: a bounded worker pool with admission control that sheds load
+// (429 + Retry-After) when the queue cap is hit, per-request deadlines
+// merged with client disconnects, panic-recovery middleware over the
+// already-contained simulation entry points, health and readiness probes,
+// and a graceful drain for SIGTERM — in-flight runs get a drain deadline,
+// queued runs are rejected, and /readyz flips to 503 the moment the drain
+// begins so load balancers stop routing here.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idaflash"
+	"idaflash/internal/experiments"
+	"idaflash/internal/workload"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Workers caps concurrently-executing simulations; defaults to
+	// GOMAXPROCS. Requests beyond it queue (up to QueueDepth) rather than
+	// run.
+	Workers int
+	// QueueDepth caps requests admitted but not yet executing; beyond
+	// Workers+QueueDepth the service sheds with 429. Defaults to
+	// 2*Workers.
+	QueueDepth int
+	// DefaultTimeout bounds a run that names no timeout of its own;
+	// defaults to 2 minutes.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request timeout a client may ask for;
+	// defaults to 10 minutes.
+	MaxTimeout time.Duration
+	// RetryAfter is the hint returned with a 429; defaults to 1s.
+	RetryAfter time.Duration
+	// Requests is the default per-trace request budget (see
+	// experiments.Options.Requests); zero uses that package's default.
+	Requests int
+	// Log receives one line per completed request; nil discards.
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Stats are the service's lifetime counters, exposed at /v1/stats.
+type Stats struct {
+	Accepted  uint64 `json:"accepted"`
+	Shed      uint64 `json:"shed"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	Panics    uint64 `json:"panics"`
+	InFlight  int64  `json:"in_flight"`
+	Draining  bool   `json:"draining"`
+}
+
+// Server is the HTTP service state. Build with New, mount Handler on an
+// http.Server, and call BeginDrain/Drain on shutdown.
+type Server struct {
+	cfg    Config
+	runner *experiments.Runner
+	// run executes one simulation; the runner's memoized RunContext in
+	// production, replaced by tests that need controllable latency.
+	run func(context.Context, idaflash.Profile, idaflash.System) (idaflash.Results, error)
+
+	// Two-level admission. tokens has Workers+QueueDepth slots and is
+	// acquired without blocking: failure means the queue cap is hit and
+	// the request is shed with 429. workers has Workers slots and is
+	// acquired blocking (with the request context and drain signal), so
+	// token holders beyond the worker count are the bounded queue.
+	tokens  chan struct{}
+	workers chan struct{}
+
+	// Drain state. draining flips once; drainCh closes at the same
+	// moment so queued waiters wake. inflight tracks admitted requests;
+	// runsCtx is the parent of every run's context, cancelled when the
+	// drain deadline expires.
+	draining   atomic.Bool
+	drainOnce  sync.Once
+	drainCh    chan struct{}
+	inflight   sync.WaitGroup
+	runsCtx    context.Context
+	cancelRuns context.CancelFunc
+
+	accepted, shed, completed, failed, cancelled, panics atomic.Uint64
+	inflightN                                            atomic.Int64
+}
+
+// New builds a server around a fresh experiments runner.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	runner := experiments.NewRunner(experiments.Options{
+		Requests: cfg.Requests,
+		Parallel: cfg.Workers,
+	})
+	s := &Server{
+		cfg:     cfg,
+		runner:  runner,
+		run:     runner.RunContext,
+		tokens:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		workers: make(chan struct{}, cfg.Workers),
+		drainCh: make(chan struct{}),
+	}
+	s.runsCtx, s.cancelRuns = context.WithCancel(context.Background())
+	return s
+}
+
+// Handler returns the service mux wrapped in the panic-recovery middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/profiles", s.handleProfiles)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return s.recoverPanics(mux)
+}
+
+// BeginDrain flips the server into draining mode: /readyz starts answering
+// 503, new and queued runs are rejected, in-flight runs continue. Safe to
+// call more than once.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+	})
+}
+
+// Drain waits for the in-flight runs to finish. When ctx expires first, the
+// remaining runs are cancelled (they stop within the engine's polling
+// bounds) and Drain waits for them to unwind before returning ctx's error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelRuns()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:  s.accepted.Load(),
+		Shed:      s.shed.Load(),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+		Cancelled: s.cancelled.Load(),
+		Panics:    s.panics.Load(),
+		InFlight:  s.inflightN.Load(),
+		Draining:  s.draining.Load(),
+	}
+}
+
+// RunRequest is the POST /v1/run body.
+type RunRequest struct {
+	// Profile names a paper or extra workload profile (GET /v1/profiles).
+	Profile string `json:"profile"`
+	// Requests overrides the per-trace request budget; zero uses the
+	// server default.
+	Requests int `json:"requests,omitempty"`
+	// System selects the simulated device configuration.
+	System SystemSpec `json:"system"`
+	// TimeoutMs bounds the run; zero uses the server default, and values
+	// above the server maximum are clamped to it.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// SystemSpec is the wire form of the device configuration knobs the service
+// exposes.
+type SystemSpec struct {
+	IDA         bool    `json:"ida,omitempty"`
+	ErrorRate   float64 `json:"error_rate,omitempty"`
+	BitsPerCell int     `json:"bits_per_cell,omitempty"`
+	Scheduler   string  `json:"scheduler,omitempty"`
+	Devices     int     `json:"devices,omitempty"`
+	StripeKB    int     `json:"stripe_kb,omitempty"`
+	Parity      bool    `json:"parity,omitempty"`
+}
+
+// RunResponse is the POST /v1/run success body.
+type RunResponse struct {
+	Profile   string           `json:"profile"`
+	System    string           `json:"system"`
+	ElapsedMs int64            `json:"elapsed_ms"`
+	Results   idaflash.Results `json:"results"`
+}
+
+// errorBody is every non-2xx JSON payload. Kind is machine-matchable:
+// "invalid", "shed", "draining", "cancelled", "deadline", "invariant",
+// or "internal".
+type errorBody struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, kind, msg string) {
+	writeJSON(w, status, errorBody{Error: msg, Kind: kind})
+}
+
+// recoverPanics is the outermost middleware: a handler panic (the exported
+// simulation API never panics, so this guards the service's own code)
+// becomes a 500 instead of a dead process.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Add(1)
+				if s.cfg.Log != nil {
+					s.cfg.Log.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, v)
+				}
+				// Best-effort: the handler may have written already.
+				writeError(w, http.StatusInternalServerError, "internal",
+					fmt.Sprintf("internal error: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports readiness for new work: 503 once draining begins, so
+// a load balancer or orchestrator routes around the instance while its
+// in-flight runs finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining", "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleProfiles(w http.ResponseWriter, _ *http.Request) {
+	budget := s.runner.Options().Requests
+	var names []string
+	for _, p := range workload.PaperProfiles(budget) {
+		names = append(names, p.Name)
+	}
+	for _, p := range workload.ExtraProfiles(budget) {
+		names = append(names, p.Name)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"profiles": names})
+}
+
+// parse validates the request body into a runnable (profile, system, timeout).
+func (s *Server) parse(r *http.Request) (idaflash.Profile, idaflash.System, time.Duration, error) {
+	var req RunRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return idaflash.Profile{}, idaflash.System{}, 0, fmt.Errorf("decoding body: %w", err)
+	}
+	budget := req.Requests
+	if budget == 0 {
+		budget = s.runner.Options().Requests
+	}
+	if budget < 0 {
+		return idaflash.Profile{}, idaflash.System{}, 0, fmt.Errorf("requests %d must be non-negative", budget)
+	}
+	profile, err := idaflash.ProfileByName(req.Profile, budget)
+	if err != nil {
+		return idaflash.Profile{}, idaflash.System{}, 0, err
+	}
+	sched, err := idaflash.ParseSchedulerPolicy(req.System.Scheduler)
+	if err != nil {
+		return idaflash.Profile{}, idaflash.System{}, 0, err
+	}
+	sys := idaflash.Baseline()
+	if req.System.IDA {
+		sys = idaflash.IDA(req.System.ErrorRate)
+	}
+	sys.BitsPerCell = req.System.BitsPerCell
+	sys.Scheduler = sched
+	sys.Devices = req.System.Devices
+	sys.StripeKB = req.System.StripeKB
+	sys.Parity = req.System.Parity
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return profile, sys, timeout, nil
+}
+
+// handleRun is the work endpoint: admission, deadline, execution, and the
+// error-to-status mapping.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	profile, sys, timeout, err := s.parse(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid", err.Error())
+		return
+	}
+
+	// Level 1: the shed gate. No token free means Workers running plus
+	// QueueDepth queued; adding more would only grow latency unboundedly,
+	// so the request is refused now, cheaply, with a retry hint.
+	select {
+	case s.tokens <- struct{}{}:
+	default:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeError(w, http.StatusTooManyRequests, "shed", "queue full, retry later")
+		return
+	}
+	defer func() { <-s.tokens }()
+	s.accepted.Add(1)
+	s.inflight.Add(1)
+	s.inflightN.Add(1)
+	defer func() {
+		s.inflightN.Add(-1)
+		s.inflight.Done()
+	}()
+
+	// The run context: client disconnect or per-request deadline, plus
+	// the server-wide drain-deadline cancellation.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	stop := context.AfterFunc(s.runsCtx, cancel)
+	defer stop()
+
+	// Level 2: the worker gate. Waiting here is the bounded queue; the
+	// wait ends early when the client gives up or the drain begins
+	// (queued runs are rejected — only already-executing runs get the
+	// drain deadline).
+	select {
+	case s.workers <- struct{}{}:
+	case <-ctx.Done():
+		s.cancelled.Add(1)
+		s.writeRunError(w, ctx.Err())
+		return
+	case <-s.drainCh:
+		s.cancelled.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	start := time.Now()
+	res, err := func() (idaflash.Results, error) {
+		// The worker slot is released on every exit, including a panic
+		// unwinding out of the run seam (the exported simulation API never
+		// panics, but a leaked slot would wedge the pool forever, so the
+		// release must not depend on that contract). A panic is counted as
+		// a failure here — keeping accepted = completed+cancelled+failed —
+		// and re-raised for the recovery middleware to report.
+		defer func() {
+			<-s.workers
+			if v := recover(); v != nil {
+				s.failed.Add(1)
+				panic(v)
+			}
+		}()
+		return s.run(ctx, profile, sys)
+	}()
+
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.cancelled.Add(1)
+		} else {
+			s.failed.Add(1)
+		}
+		if s.cfg.Log != nil {
+			s.cfg.Log.Printf("run %s/%s failed after %v: %v", profile.Name, sys.Name, time.Since(start).Round(time.Millisecond), err)
+		}
+		s.writeRunError(w, err)
+		return
+	}
+	s.completed.Add(1)
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf("ran %s/%s in %v", profile.Name, sys.Name, time.Since(start).Round(time.Millisecond))
+	}
+	writeJSON(w, http.StatusOK, RunResponse{
+		Profile:   profile.Name,
+		System:    sys.Name,
+		ElapsedMs: time.Since(start).Milliseconds(),
+		Results:   res,
+	})
+}
+
+// writeRunError maps a run error onto a status and kind: deadline → 504,
+// cancellation → 503 (the client is gone, or the drain deadline hit),
+// contained invariant violation → 500 with the simulation position, any
+// other failure → 500.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "deadline", "run exceeded its deadline")
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "cancelled", "run cancelled")
+	case idaflash.IsInvariantError(err):
+		writeError(w, http.StatusInternalServerError, "invariant", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}

@@ -55,12 +55,13 @@ func (e *refEngine) At(t Time, fn func()) {
 
 func (e *refEngine) After(d time.Duration, fn func()) { e.At(e.now+d, fn) }
 
-func (e *refEngine) Run() {
+func (e *refEngine) Run() error {
 	for len(e.h) > 0 {
 		ev := heap.Pop(&e.h).(*refEvent)
 		e.now = ev.at
 		ev.fn()
 	}
+	return nil
 }
 
 // simClock abstracts the two engines so the same random script can drive
@@ -69,7 +70,7 @@ type simClock interface {
 	At(t Time, fn func())
 	After(d time.Duration, fn func())
 	Now() Time
-	Run()
+	Run() error
 }
 
 func (e *refEngine) Now() Time { return e.now }

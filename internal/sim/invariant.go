@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// InvariantError is a hot-path invariant violation (an "impossible" state
+// the simulation asserts against, like invalidating an already-invalid page)
+// captured at a run boundary instead of killing the process. The simulation
+// and FTL keep panicking at the violation site — the state there is by
+// definition corrupt, and unwinding is the only safe move — but the run
+// entry points (ssd.Run, array.Run, the idaflash facade) recover the panic
+// into one of these, so one poisoned run fails alone: sibling runs in the
+// same process, which share no mutable state with it, keep going.
+//
+// The capture records where the simulation was (engine time, events
+// processed) and the stack of the violation, so a failed run is diagnosable
+// from its error alone.
+type InvariantError struct {
+	// Value is the recovered panic value.
+	Value any
+	// At is the simulated time when the violation was captured.
+	At Time
+	// Events is the number of events the engine had processed.
+	Events uint64
+	// Stack is the goroutine stack at capture, as debug.Stack formats it.
+	Stack []byte
+}
+
+// Error summarizes the violation; the stack is available on the struct.
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("sim: invariant violated at t=%v after %d events: %v", e.At, e.Events, e.Value)
+}
+
+// CapturePanic converts a recovered panic value into an *InvariantError,
+// stamping it with the engine's position (engine may be nil). A value that
+// already is an *InvariantError passes through unchanged, so nested run
+// boundaries do not re-wrap.
+func CapturePanic(v any, e *Engine) *InvariantError {
+	if ie, ok := v.(*InvariantError); ok {
+		return ie
+	}
+	ie := &InvariantError{Value: v, Stack: debug.Stack()}
+	if e != nil {
+		ie.At = e.now
+		ie.Events = e.processed
+	}
+	return ie
+}

@@ -108,24 +108,27 @@ func (c SchedulerConfig) Validate() error {
 }
 
 // New builds a fresh scheduler instance. Each Resource needs its own
-// instance, since schedulers hold the queue state. Unknown policies panic;
-// call Validate first when the name comes from user input.
-func (c SchedulerConfig) New() Scheduler {
+// instance, since schedulers hold the queue state. An unknown policy is a
+// config error, returned rather than panicked so a service embedding the
+// simulator can reject a bad request instead of dying; device constructors
+// (ssd.New) validate the config up-front and surface this before any
+// resource is built.
+func (c SchedulerConfig) New() (Scheduler, error) {
 	p, err := ParsePolicy(string(c.Policy))
 	if err != nil {
-		panic(err.Error())
+		return nil, err
 	}
 	switch p {
 	case PolicyFIFO:
-		return &fifoScheduler{}
+		return &fifoScheduler{}, nil
 	case PolicyAgeAware:
 		maxWait := c.MaxWait
 		if maxWait == 0 {
 			maxWait = DefaultAgeAwareMaxWait
 		}
-		return &ageAwareScheduler{maxWait: maxWait}
+		return &ageAwareScheduler{maxWait: maxWait}, nil
 	default:
-		return &readFirstScheduler{}
+		return &readFirstScheduler{}, nil
 	}
 }
 

@@ -20,6 +20,20 @@ func TestParsePolicy(t *testing.T) {
 	if err := (SchedulerConfig{Policy: "bogus"}).Validate(); err == nil {
 		t.Error("bogus policy accepted")
 	}
+	if _, err := (SchedulerConfig{Policy: "bogus"}).New(); err == nil {
+		t.Error("New built a scheduler for a bogus policy")
+	}
+}
+
+// mustNew builds a scheduler from the config, failing the test on a config
+// error (the production path surfaces it from ssd.New instead).
+func mustNew(t *testing.T, cfg SchedulerConfig) Scheduler {
+	t.Helper()
+	s, err := cfg.New()
+	if err != nil {
+		t.Fatalf("SchedulerConfig%+v.New(): %v", cfg, err)
+	}
+	return s
 }
 
 // order runs one resource under the scheduler and returns the order in which
@@ -42,7 +56,7 @@ func order(t *testing.T, sched Scheduler, submit func(r *Resource, record func(i
 }
 
 func TestReadFirstOrdersClasses(t *testing.T) {
-	got := order(t, SchedulerConfig{}.New(), func(r *Resource, rec func(string) func()) {
+	got := order(t, mustNew(t, SchedulerConfig{}), func(r *Resource, rec func(string) func()) {
 		r.Acquire(PrioBackground, time.Microsecond, rec("bg"))
 		r.Acquire(PrioHostWrite, time.Microsecond, rec("w1"))
 		r.Acquire(PrioHostRead, time.Microsecond, rec("r1"))
@@ -58,7 +72,7 @@ func TestReadFirstOrdersClasses(t *testing.T) {
 }
 
 func TestFIFOKeepsArrivalOrder(t *testing.T) {
-	got := order(t, SchedulerConfig{Policy: PolicyFIFO}.New(), func(r *Resource, rec func(string) func()) {
+	got := order(t, mustNew(t, SchedulerConfig{Policy: PolicyFIFO}), func(r *Resource, rec func(string) func()) {
 		r.Acquire(PrioBackground, time.Microsecond, rec("bg"))
 		r.Acquire(PrioHostWrite, time.Microsecond, rec("w1"))
 		r.Acquire(PrioHostRead, time.Microsecond, rec("r1"))
@@ -76,7 +90,7 @@ func TestAgeAwarePromotesStarvedWrite(t *testing.T) {
 	// The server is held for 1 ms; a write queues at t=0, reads keep
 	// arriving. With MaxWait 500 us the write is over age when the first
 	// hold expires, so it is served before the queued reads.
-	sched := SchedulerConfig{Policy: PolicyAgeAware, MaxWait: 500 * time.Microsecond}.New()
+	sched := mustNew(t, SchedulerConfig{Policy: PolicyAgeAware, MaxWait: 500 * time.Microsecond})
 	got := order(t, sched, func(r *Resource, rec func(string) func()) {
 		r.Acquire(PrioHostWrite, time.Microsecond, rec("w1"))
 		r.Acquire(PrioHostRead, time.Microsecond, rec("r1"))
@@ -93,7 +107,7 @@ func TestAgeAwarePromotesStarvedWrite(t *testing.T) {
 func TestAgeAwareFreshWritesStillYieldToReads(t *testing.T) {
 	// With a large MaxWait nothing is over age, so the discipline matches
 	// read-first exactly.
-	sched := SchedulerConfig{Policy: PolicyAgeAware, MaxWait: time.Hour}.New()
+	sched := mustNew(t, SchedulerConfig{Policy: PolicyAgeAware, MaxWait: time.Hour})
 	got := order(t, sched, func(r *Resource, rec func(string) func()) {
 		r.Acquire(PrioHostWrite, time.Microsecond, rec("w1"))
 		r.Acquire(PrioHostRead, time.Microsecond, rec("r1"))
@@ -113,7 +127,7 @@ func TestAgeAwareOldestAgedWinsAcrossClasses(t *testing.T) {
 	// go to the higher class. Holds are long enough that both are over
 	// age at the first dispatch.
 	e := NewEngine()
-	sched := SchedulerConfig{Policy: PolicyAgeAware, MaxWait: time.Microsecond}.New()
+	sched := mustNew(t, SchedulerConfig{Policy: PolicyAgeAware, MaxWait: time.Microsecond})
 	r := NewResourceScheduled(e, "srv", sched)
 	var got []string
 	rec := func(id string) func() { return func() { got = append(got, id) } }
@@ -136,7 +150,7 @@ func TestAgeAwareOldestAgedWinsAcrossClasses(t *testing.T) {
 
 func TestSchedulerLenAndPolicyNames(t *testing.T) {
 	for _, cfg := range []SchedulerConfig{{}, {Policy: PolicyFIFO}, {Policy: PolicyAgeAware}} {
-		s := cfg.New()
+		s := mustNew(t, cfg)
 		if s.Len() != 0 {
 			t.Errorf("%s: fresh Len = %d", s.Policy(), s.Len())
 		}

@@ -10,9 +10,12 @@ import (
 // runGC collects any planes below the free-block watermark and charges the
 // resulting moves and erases as background work.
 func (s *SSD) runGC() {
-	jobs := s.f.CollectGC(s.engine.Now())
+	jobs, err := s.f.CollectGC(s.engine.Now())
 	for _, job := range jobs {
 		s.chargeGC(job)
+	}
+	if err != nil {
+		s.fail(err)
 	}
 }
 
@@ -55,9 +58,14 @@ func (s *SSD) scheduleRefreshScan(moreWork func() bool) {
 	s.scanning = true
 	var tick func()
 	tick = func() {
-		jobs := s.f.DueRefreshes(s.engine.Now())
+		jobs, err := s.f.DueRefreshes(s.engine.Now())
 		for _, job := range jobs {
 			s.chargeRefresh(job)
+		}
+		if err != nil {
+			s.fail(err)
+			s.scanning = false
+			return
 		}
 		if len(jobs) > 0 {
 			// Refresh moves may have drained free blocks, and

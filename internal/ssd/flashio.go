@@ -1,6 +1,7 @@
 package ssd
 
 import (
+	"fmt"
 	"time"
 
 	"idaflash/internal/ecc"
@@ -234,8 +235,11 @@ func (s *SSD) putWriteOp(op *writeOp) {
 func (s *SSD) writePage(lpn ftl.LPN, req *request) {
 	prog, err := s.f.Write(lpn, s.engine.Now())
 	if err != nil {
-		// Out of space mid-run: surface loudly, this is a sizing bug.
-		panic("ssd: " + err.Error())
+		// Out of space mid-run: a sizing bug. Fail the run — the request
+		// in flight never completes, but the engine stops after this
+		// event and Run returns the error with partial stats.
+		s.fail(fmt.Errorf("ssd: %w", err))
+		return
 	}
 	s.issueProgram(prog, req, 0)
 }

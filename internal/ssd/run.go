@@ -1,6 +1,7 @@
 package ssd
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -101,6 +102,16 @@ func (r Results) Scalars() Results {
 // Run executes the trace on the device and returns the measurements. It
 // may be called once per SSD instance.
 func (s *SSD) Run(tr *workload.Trace, opts RunOptions) (Results, error) {
+	return s.RunContext(context.Background(), tr, opts)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled the
+// simulation stops within the engine's polling bounds and RunContext returns
+// ctx's error together with the stats accumulated so far (partial progress,
+// not a valid measurement). It is also the panic-containment boundary: an
+// invariant violation anywhere in the sim/FTL hot path surfaces as a
+// *sim.InvariantError return instead of killing the process — see contain.
+func (s *SSD) RunContext(ctx context.Context, tr *workload.Trace, opts RunOptions) (res Results, err error) {
 	if err := tr.Validate(); err != nil {
 		return Results{}, err
 	}
@@ -113,17 +124,24 @@ func (s *SSD) Run(tr *workload.Trace, opts RunOptions) (Results, error) {
 	if opts.WarmupFraction < 0 || opts.WarmupFraction >= 1 {
 		return Results{}, fmt.Errorf("ssd: WarmupFraction %v out of [0,1)", opts.WarmupFraction)
 	}
+	s.engine.SetContext(ctx)
+	defer s.contain(tr.Name, &res, &err)
 
 	// Phase 0: prefill the footprint so every read hits mapped data.
 	if !opts.SkipPrefill {
-		if err := s.prefill(tr); err != nil {
+		if err := s.prefill(ctx, tr); err != nil {
 			return Results{}, err
 		}
 	}
 
-	// Phase 1: instant aging preamble and warmup replay.
+	// Phase 1: instant aging preamble and warmup replay. The untimed
+	// phases poll ctx per request themselves — the engine is not running
+	// yet, so its polling cannot cover them.
 	replay := func(reqs []workload.Request, label string) error {
 		for _, r := range reqs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if r.Read {
 				continue // reads have no state effect
 			}
@@ -133,7 +151,9 @@ func (s *SSD) Run(tr *workload.Trace, opts RunOptions) (Results, error) {
 					return fmt.Errorf("ssd: %s: %w", label, err)
 				}
 			}
-			s.f.CollectGC(0)
+			if _, err := s.f.CollectGC(0); err != nil {
+				return fmt.Errorf("ssd: %s: %w", label, err)
+			}
 		}
 		return nil
 	}
@@ -155,8 +175,31 @@ func (s *SSD) Run(tr *workload.Trace, opts RunOptions) (Results, error) {
 	if len(measured) == 0 {
 		return Results{}, fmt.Errorf("ssd: nothing left to measure after warmup")
 	}
-	s.replayTimed(measured)
+	if err := s.replayTimed(measured); err != nil {
+		return s.results(tr.Name), err
+	}
 	return s.results(tr.Name), nil
+}
+
+// contain is the deferred run-boundary recovery: an invariant panic from the
+// simulation becomes the run's error, stamped with the engine position and
+// stack, and the stats gathered so far are snapshotted best-effort (a nested
+// recover guards the snapshot itself — the state that just violated an
+// invariant may be too corrupt to summarize).
+func (s *SSD) contain(trace string, res *Results, err *error) {
+	v := recover()
+	if v == nil {
+		return
+	}
+	ie, ok := v.(*sim.InvariantError)
+	if !ok {
+		ie = sim.CapturePanic(v, s.engine)
+	}
+	*err = ie
+	func() {
+		defer func() { _ = recover() }()
+		*res = s.results(trace)
+	}()
 }
 
 // RunMore replays an additional trace on an already-run device, continuing
@@ -165,6 +208,12 @@ func (s *SSD) Run(tr *workload.Trace, opts RunOptions) (Results, error) {
 // phase. It backs the paper's Section III-C analysis: running a
 // write-intensive workload on an SSD previously used with the IDA coding.
 func (s *SSD) RunMore(tr *workload.Trace) (Results, error) {
+	return s.RunMoreContext(context.Background(), tr)
+}
+
+// RunMoreContext is RunMore with the same cancellation and containment
+// semantics as RunContext.
+func (s *SSD) RunMoreContext(ctx context.Context, tr *workload.Trace) (res Results, err error) {
 	if err := tr.Validate(); err != nil {
 		return Results{}, err
 	}
@@ -174,9 +223,13 @@ func (s *SSD) RunMore(tr *workload.Trace) (Results, error) {
 	if s.lastHostDone == 0 {
 		return Results{}, fmt.Errorf("ssd: RunMore needs a prior Run")
 	}
+	s.engine.SetContext(ctx)
+	defer s.contain(tr.Name, &res, &err)
 	s.resetMetrics()
 	s.f.ResetStats()
-	s.replayTimed(tr.Requests)
+	if err := s.replayTimed(tr.Requests); err != nil {
+		return s.results(tr.Name), err
+	}
 	return s.results(tr.Name), nil
 }
 
@@ -206,8 +259,10 @@ func (a *arrivalFeeder) Run() {
 func (a *arrivalFeeder) remaining() int { return len(a.reqs) - a.next }
 
 // replayTimed schedules the requests (rebased to the current simulated
-// time), arms the refresh scan, and drains the engine.
-func (s *SSD) replayTimed(reqs []workload.Request) {
+// time), arms the refresh scan, and drains the engine. A non-nil error means
+// the drain stopped early — cancellation, or a mid-simulation failure routed
+// through fail — with events still queued.
+func (s *SSD) replayTimed(reqs []workload.Request) error {
 	start := s.engine.Now()
 	feeder := &arrivalFeeder{s: s, reqs: reqs, start: start, base: reqs[0].At}
 	s.engine.AtAction(start+sim.Time(reqs[0].At-feeder.base), feeder)
@@ -215,7 +270,7 @@ func (s *SSD) replayTimed(reqs []workload.Request) {
 		return feeder.remaining() > 0 || s.adm.inFlight > 0 || len(s.adm.queue) > 0
 	})
 	s.armSampler()
-	s.engine.Run()
+	return s.engine.Run()
 }
 
 // resetMetrics zeroes the host-visible accumulators so a subsequent phase
@@ -238,8 +293,8 @@ func (s *SSD) resetMetrics() {
 }
 
 // prefill writes every page of the trace's footprint once, in zero
-// simulated time.
-func (s *SSD) prefill(tr *workload.Trace) error {
+// simulated time, polling ctx once per GC interval.
+func (s *SSD) prefill(ctx context.Context, tr *workload.Trace) error {
 	var maxEnd int64
 	for _, r := range tr.Requests {
 		if r.End() > maxEnd {
@@ -256,10 +311,17 @@ func (s *SSD) prefill(tr *workload.Trace) error {
 			return fmt.Errorf("ssd: prefill: %w", err)
 		}
 		if lpn%1024 == 0 {
-			s.f.CollectGC(0)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if _, err := s.f.CollectGC(0); err != nil {
+				return fmt.Errorf("ssd: prefill: %w", err)
+			}
 		}
 	}
-	s.f.CollectGC(0)
+	if _, err := s.f.CollectGC(0); err != nil {
+		return fmt.Errorf("ssd: prefill: %w", err)
+	}
 	return nil
 }
 

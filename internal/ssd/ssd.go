@@ -215,20 +215,33 @@ func New(cfg Config) (*SSD, error) {
 	sched := cfg.schedulerConfig()
 	s.dies = make([]*sim.Resource, cfg.Geometry.Dies())
 	for i := range s.dies {
-		s.dies[i] = sim.NewResourceScheduled(s.engine, fmt.Sprintf("die%d", i), sched.New())
+		inst, err := sched.New()
+		if err != nil {
+			return nil, err // unreachable: withDefaults validated the config
+		}
+		s.dies[i] = sim.NewResourceScheduled(s.engine, fmt.Sprintf("die%d", i), inst)
 		if s.dieWatch != nil {
 			s.dies[i].SetHook(s.dieWatch)
 		}
 	}
 	s.channels = make([]*sim.Resource, cfg.Geometry.Channels)
 	for i := range s.channels {
-		s.channels[i] = sim.NewResourceScheduled(s.engine, fmt.Sprintf("ch%d", i), sched.New())
+		inst, err := sched.New()
+		if err != nil {
+			return nil, err
+		}
+		s.channels[i] = sim.NewResourceScheduled(s.engine, fmt.Sprintf("ch%d", i), inst)
 		if s.chanWatch != nil {
 			s.channels[i].SetHook(s.chanWatch)
 		}
 	}
 	return s, nil
 }
+
+// fail aborts the in-progress run: the engine's loop stops after the event
+// in flight and the run returns err. First error wins; callbacks use it to
+// turn mid-simulation FTL failures into a failed run instead of a panic.
+func (s *SSD) fail(err error) { s.engine.Stop(err) }
 
 // Telemetry exposes the device's recorder (nil when disabled).
 func (s *SSD) Telemetry() *telemetry.Recorder { return s.tel }

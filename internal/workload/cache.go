@@ -53,13 +53,15 @@ var DefaultTraceCache = NewTraceCache(0)
 
 // profileKey encodes the normalized profile losslessly. Profile is plain
 // data (scalars and a name) and encoding/json emits struct fields in
-// declaration order, so the key is deterministic.
-func profileKey(p Profile) string {
+// declaration order, so the key is deterministic. An encoding failure is
+// reported rather than panicked: the caller falls back to an uncached
+// generation, trading the memoization for survival.
+func profileKey(p Profile) (string, error) {
 	b, err := json.Marshal(p)
 	if err != nil {
-		panic(fmt.Sprintf("workload: encoding trace cache key: %v", err))
+		return "", fmt.Errorf("workload: encoding trace cache key: %w", err)
 	}
-	return string(b)
+	return string(b), nil
 }
 
 // Traces returns the profile's trace and aging preamble, generating them on
@@ -70,7 +72,19 @@ func (c *TraceCache) Traces(p Profile) (trace, preamble *Trace, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	k := profileKey(np)
+	k, err := profileKey(np)
+	if err != nil {
+		// Uncacheable is not unrunnable: generate without memoizing.
+		tr, gerr := np.Generate()
+		if gerr != nil {
+			return nil, nil, gerr
+		}
+		pre, gerr := np.AgingPreamble()
+		if gerr != nil {
+			return nil, nil, gerr
+		}
+		return tr, pre, nil
+	}
 	c.mu.Lock()
 	e := c.entries[k]
 	if e == nil {
