@@ -100,8 +100,9 @@ func BenchmarkSingleRunIDA(b *testing.B) {
 	}
 }
 
-// BenchmarkCodingMerge measures the IDA merge computation for every TLC
-// validity mask (the FTL caches these; this is the uncached cost).
+// BenchmarkCodingMerge measures the IDA merge lookup for every TLC validity
+// mask. Schemes precompute all 2^bits merges at construction, so the
+// hot-path cost is a table index — CI gates this at zero allocations.
 func BenchmarkCodingMerge(b *testing.B) {
 	tlc := coding.NewGray(3)
 	b.ReportAllocs()
@@ -112,7 +113,8 @@ func BenchmarkCodingMerge(b *testing.B) {
 	}
 }
 
-// BenchmarkCodingPlan measures the Table I wordline planning.
+// BenchmarkCodingPlan measures the Table I wordline-plan lookup, precomputed
+// like the merges; CI gates this at zero allocations too.
 func BenchmarkCodingPlan(b *testing.B) {
 	tlc := coding.NewGray(3)
 	b.ReportAllocs()

@@ -50,6 +50,7 @@ func main() {
 		tracePath = flag.String("trace", "", "replay an MSR-format CSV trace instead of a synthetic profile")
 		requests  = flag.Int("requests", 40000, "host requests for the synthetic trace")
 		ida       = flag.Bool("ida", false, "enable the IDA coding")
+		codeName  = flag.String("coding", "", "cell coding scheme: ida (default), randio, or ilwc")
 		errRate   = flag.Float64("error", 0.2, "voltage-adjustment error rate (with -ida)")
 		deltaTR   = flag.Duration("deltatr", 0, "override delta-tR (e.g. 70us); 0 keeps the device default")
 		bits      = flag.Int("bits", 3, "bits per cell: 2 (MLC), 3 (TLC), 4 (QLC)")
@@ -76,6 +77,15 @@ func main() {
 	sys := idaflash.Baseline()
 	if *ida {
 		sys = idaflash.IDA(*errRate)
+	}
+	coding, err := idaflash.ParseCoding(*codeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sys.Coding = coding
+	if coding != idaflash.CodingIDA {
+		sys.Name += "-" + coding
 	}
 	sys.DeltaTR = *deltaTR
 	sys.BitsPerCell = *bits
@@ -283,6 +293,7 @@ func runTrace(path string, sys idaflash.System) (idaflash.Results, []idaflash.Re
 
 func report(sys idaflash.System, policy idaflash.SchedulerPolicy, r idaflash.Results) {
 	fmt.Printf("system:               %s\n", sys.Name)
+	fmt.Printf("coding:               %s\n", r.Coding)
 	fmt.Printf("scheduler:            %s\n", policy)
 	if sys.Faults != nil {
 		label := sys.Faults.Name
@@ -314,6 +325,9 @@ func report(sys idaflash.System, policy idaflash.SchedulerPolicy, r idaflash.Res
 	fmt.Printf("reads from IDA WLs:   %d of %d\n", r.FTL.ReadsFromIDA, r.FTL.HostReads)
 	fmt.Printf("GC jobs:              %d (%d erases)\n", r.FTL.GCJobs, r.FTL.Erases)
 	fmt.Printf("in-use blocks (peak): %d of %d (%d IDA at peak)\n", r.PeakInUse, r.Usage.Total, r.PeakIDA)
+	fmt.Printf("program power proxy:  %.1f (%.2f per program, %.1f cells programmed)\n",
+		r.PowerProxy, r.MeanProgramPower, r.FTL.ProgrammedCells)
+	fmt.Printf("wear:                 mean %.2f erases/block (spread %d)\n", r.Wear.MeanErase, r.Wear.Spread)
 	if sys.Faults != nil {
 		fmt.Printf("fault retries:        %d read, %d write (%d timeouts, %d latency spikes)\n",
 			r.Faults.ReadRetries, r.Faults.WriteRetries, r.Faults.ReadTimeouts, r.Faults.LatencySpikes)

@@ -70,4 +70,20 @@ func main() {
 		v.Senses(idaflash.LSB), v.Senses(idaflash.CSB), v.Senses(idaflash.MSB))
 	vm := v.Merge(idaflash.ValidMask(0).With(idaflash.MSB))
 	fmt.Printf("  IDA with only MSB valid: MSB=%d sensing(s)\n", vm.Senses(idaflash.MSB))
+
+	fmt.Println("\nCoding lab: every registered scheme, TLC geometry:")
+	fmt.Println(" scheme  senses(LSB/CSB/MSB)  worst  mean level  programmed")
+	for _, name := range idaflash.CodingNames() {
+		c, err := idaflash.NewCoding(name, 3)
+		if err != nil {
+			panic(err)
+		}
+		cost := c.ProgramCost()
+		fmt.Printf("  %-7s %d/%d/%d                %d      %.3f       %.1f%%\n",
+			c.Name(),
+			c.Senses(idaflash.LSB), c.Senses(idaflash.CSB), c.Senses(idaflash.MSB),
+			c.MaxSenses(), cost.MeanLevel, 100*cost.ProgrammedFrac)
+	}
+	fmt.Println("randio flattens the worst page; ilwc keeps Gray senses but")
+	fmt.Println("programs fewer, lower voltage cells (the power/wear proxies).")
 }

@@ -62,6 +62,12 @@ type (
 	TimingSpec = flash.TimingSpec
 	// Scheme is a cell coding (state-to-bits assignment).
 	Scheme = coding.Scheme
+	// Code is the pluggable coding-scheme interface every simulator layer
+	// programs against: state map, sensing counts, IDA merge rules, and
+	// per-program power/wear cost hooks.
+	Code = coding.Code
+	// CellCost is a code's per-program power/wear proxy.
+	CellCost = coding.CellCost
 	// PageType identifies a page within a wordline (LSB/CSB/MSB/...).
 	PageType = coding.PageType
 	// ValidMask records which pages of a wordline are still valid.
@@ -161,6 +167,65 @@ func NewGrayCoding(bits int) *Scheme { return coding.NewGray(bits) }
 // Vendor232TLC returns the alternative 2-3-2 TLC coding from Section III-B.
 func Vendor232TLC() *Scheme { return coding.Vendor232TLC() }
 
+// Registered coding-scheme names for System.Coding, idasim -coding, and the
+// server's "coding" request field.
+const (
+	// CodingIDA is the paper's Gray (or vendor 2-3-2) map with IDA merges.
+	CodingIDA = coding.CodeIDA
+	// CodingRandIO is Sharon/Alrod random-I/O coding: balanced per-page
+	// sensing counts, no page pays the Gray MSB's worst case.
+	CodingRandIO = coding.CodeRandIO
+	// CodingILWC is inverted limited-weight coding: Gray latency with a
+	// programmed-cell population biased toward low voltage states.
+	CodingILWC = coding.CodeILWC
+)
+
+// CodingNames lists the selectable coding schemes, sorted.
+func CodingNames() []string { return coding.Names() }
+
+// ParseCoding validates a coding-scheme name ("" selects the default,
+// CodingIDA) without needing a bit density. The returned name is the
+// canonical registry name.
+func ParseCoding(s string) (string, error) {
+	if s == "" {
+		return coding.DefaultCode, nil
+	}
+	for _, name := range coding.Names() {
+		if s == name {
+			return s, nil
+		}
+	}
+	return "", &ConfigError{Field: "Coding", Reason: fmt.Sprintf("unknown coding %q (known: %v)", s, coding.Names())}
+}
+
+// NewCoding builds a registered coding scheme for the given bits per cell.
+func NewCoding(name string, bits int) (Code, error) { return coding.New(name, bits) }
+
+// ConfigError is a typed, fielded rejection of a System/Profile combination:
+// every validation failure BuildConfig can produce (unknown coding scheme,
+// coding/geometry mismatch, conflicting knobs, out-of-range rates) is one of
+// these, so callers can distinguish "your request is wrong" from "the
+// simulation failed" with IsConfigError and surface Field/Reason
+// structurally (the HTTP server maps them to 400s).
+type ConfigError struct {
+	// Field names the System or Profile field that was rejected.
+	Field string
+	// Reason says what was wrong with it.
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("idaflash: invalid %s: %s", e.Field, e.Reason)
+}
+
+// IsConfigError reports whether err is (or wraps) a configuration
+// validation failure rather than a simulation failure.
+func IsConfigError(err error) bool {
+	var ce *ConfigError
+	return errors.As(err, &ce)
+}
+
 // PaperGeometry returns the Table II 512 GB TLC device shape.
 func PaperGeometry() Geometry { return flash.PaperTLC() }
 
@@ -224,10 +289,17 @@ type System struct {
 	// paper's "user space fully utilized plus 15% over-provisioning"
 	// condition for the write-interference analysis (Section III-C).
 	TightSpace bool
+	// Coding selects the cell coding scheme by registry name: CodingIDA
+	// (default), CodingRandIO, or CodingILWC. The name is validated
+	// against the registry and the device geometry (randio is capped at
+	// 4 bits/cell) by BuildConfig, which rejects mismatches with a
+	// *ConfigError.
+	Coding string
 	// Vendor232 uses the alternative vendor TLC coding from Section
 	// III-B (2/3/2 sensings for LSB/CSB/MSB) instead of the standard
 	// Gray coding, exercising the paper's claim that IDA combines with
-	// any coding scheme. Only valid with 3 bits/cell.
+	// any coding scheme. Only valid with 3 bits/cell and the default
+	// (ida) coding.
 	Vendor232 bool
 	// Scheduler selects the die/channel arbitration policy: SchedReadFirst
 	// (default, the paper's), SchedFIFO, or SchedAgeAware.
@@ -285,14 +357,29 @@ func BuildConfig(p Profile, sys System) (SSDConfig, Profile, error) {
 		bits = 3
 	}
 	if bits < 2 || bits > 4 {
-		return SSDConfig{}, p, fmt.Errorf("idaflash: BitsPerCell %d unsupported (2-4)", bits)
+		return SSDConfig{}, p, &ConfigError{Field: "BitsPerCell", Reason: fmt.Sprintf("%d unsupported (2-4)", bits)}
 	}
-	var scheme *Scheme
+	codingName, err := ParseCoding(sys.Coding)
+	if err != nil {
+		return SSDConfig{}, p, err
+	}
+	var code Code
 	if sys.Vendor232 {
-		if bits != 3 {
-			return SSDConfig{}, p, fmt.Errorf("idaflash: Vendor232 needs 3 bits/cell, got %d", bits)
+		if codingName != CodingIDA {
+			return SSDConfig{}, p, &ConfigError{Field: "Vendor232",
+				Reason: fmt.Sprintf("only combines with the %q coding, not %q", CodingIDA, codingName)}
 		}
-		scheme = coding.Vendor232TLC()
+		if bits != 3 {
+			return SSDConfig{}, p, &ConfigError{Field: "Vendor232", Reason: fmt.Sprintf("needs 3 bits/cell, got %d", bits)}
+		}
+		code = coding.Vendor232TLC()
+	} else {
+		code, err = coding.New(codingName, bits)
+		if err != nil {
+			// The registry rejects codes that cannot cover the
+			// geometry (e.g. randio beyond 4 bits/cell).
+			return SSDConfig{}, p, &ConfigError{Field: "Coding", Reason: err.Error()}
+		}
 	}
 
 	// Parallelism is scaled down 4x from the paper's 64-plane device
@@ -321,16 +408,16 @@ func BuildConfig(p Profile, sys System) (SSDConfig, Profile, error) {
 	}
 
 	if sys.PECycles < 0 {
-		return SSDConfig{}, p, fmt.Errorf("idaflash: PECycles %d must be non-negative", sys.PECycles)
+		return SSDConfig{}, p, &ConfigError{Field: "PECycles", Reason: fmt.Sprintf("%d must be non-negative", sys.PECycles)}
 	}
 	if sys.RetentionDays < 0 {
-		return SSDConfig{}, p, fmt.Errorf("idaflash: RetentionDays %v must be non-negative", sys.RetentionDays)
+		return SSDConfig{}, p, &ConfigError{Field: "RetentionDays", Reason: fmt.Sprintf("%v must be non-negative", sys.RetentionDays)}
 	}
 	var eccParams ECCParams
 	if sys.PECycles > 0 || sys.RetentionDays > 0 {
 		if sys.Lifetime != PhaseEarly {
-			return SSDConfig{}, p, fmt.Errorf(
-				"idaflash: PECycles/RetentionDays and Lifetime=%v are mutually exclusive", sys.Lifetime)
+			return SSDConfig{}, p, &ConfigError{Field: "PECycles",
+				Reason: fmt.Sprintf("PECycles/RetentionDays and Lifetime=%v are mutually exclusive", sys.Lifetime)}
 		}
 		// Derive the retry regime from the wear curve instead of the
 		// early/late phase label; zero hard limit means the Table II
@@ -346,7 +433,7 @@ func BuildConfig(p Profile, sys System) (SSDConfig, Profile, error) {
 		Geometry: geom,
 		Timing:   timing,
 		FTL: ftl.Options{
-			Scheme:         scheme,
+			Code:           code,
 			IDAEnabled:     sys.IDA,
 			IDAOnlyInvalid: sys.OnlyInvalid,
 			ErrorRate:      sys.ErrorRate,
@@ -433,7 +520,7 @@ func RunArrayWorkloadContext(ctx context.Context, p Profile, sys System) (ArrayR
 	shares := devices
 	if sys.Parity {
 		if devices < 3 {
-			return ArrayResults{}, fmt.Errorf("idaflash: Parity needs Devices >= 3, have %d", devices)
+			return ArrayResults{}, &ConfigError{Field: "Parity", Reason: fmt.Sprintf("needs Devices >= 3, have %d", devices)}
 		}
 		shares = devices - 1
 	}

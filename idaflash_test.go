@@ -1,6 +1,7 @@
 package idaflash_test
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -238,6 +239,91 @@ func TestResultsUtilizationPopulated(t *testing.T) {
 	}
 }
 
+// TestCodingSelection exercises the facade's coding-scheme plumbing: name
+// validation, geometry cross-checks, the typed *ConfigError contract, and
+// the selected code reaching the FTL and the run's Results.
+func TestCodingSelection(t *testing.T) {
+	p := smallProfile(t, "proj_3")
+
+	names := idaflash.CodingNames()
+	if len(names) != 3 {
+		t.Fatalf("CodingNames() = %v, want 3 schemes", names)
+	}
+	if got, err := idaflash.ParseCoding(""); err != nil || got != idaflash.CodingIDA {
+		t.Fatalf("ParseCoding(\"\") = %q, %v", got, err)
+	}
+	if _, err := idaflash.ParseCoding("gray"); !idaflash.IsConfigError(err) {
+		t.Fatalf("ParseCoding(gray) err = %v, want a *ConfigError", err)
+	}
+
+	sys := idaflash.IDA(0.2)
+	sys.Coding = idaflash.CodingRandIO
+	cfg, _, err := idaflash.BuildConfig(p, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The balanced TLC map reads the MSB in 2 and the LSB in 3 sensings.
+	if cfg.FTL.Code == nil || cfg.FTL.Code.Name() != idaflash.CodingRandIO || cfg.FTL.Code.MaxSenses() != 3 {
+		t.Errorf("randio code not wired into the FTL: %+v", cfg.FTL.Code)
+	}
+
+	// Geometry cross-check: randio is capped at 4 bits/cell, so it works
+	// on QLC but an unknown name never does.
+	qlc := sys
+	qlc.BitsPerCell = 4
+	if _, _, err := idaflash.BuildConfig(p, qlc); err != nil {
+		t.Errorf("randio on QLC rejected: %v", err)
+	}
+	bad := sys
+	bad.Coding = "bogus"
+	if _, _, err := idaflash.BuildConfig(p, bad); !idaflash.IsConfigError(err) {
+		t.Errorf("unknown coding err = %v, want a *ConfigError", err)
+	}
+	// Vendor232 pins the state map, so it conflicts with non-ida codings.
+	conflict := sys
+	conflict.Vendor232 = true
+	if _, _, err := idaflash.BuildConfig(p, conflict); !idaflash.IsConfigError(err) {
+		t.Errorf("Vendor232+randio err = %v, want a *ConfigError", err)
+	}
+	// Plain simulation failures are not config errors.
+	if idaflash.IsConfigError(errFake) {
+		t.Error("IsConfigError matched a generic error")
+	}
+
+	res, err := idaflash.RunWorkload(p, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coding != idaflash.CodingRandIO {
+		t.Errorf("Results.Coding = %q, want %q", res.Coding, idaflash.CodingRandIO)
+	}
+	if res.PowerProxy <= 0 || res.MeanProgramPower <= 0 {
+		t.Errorf("power proxies not accumulated: total %v, mean %v", res.PowerProxy, res.MeanProgramPower)
+	}
+
+	// ilwc shares the Gray map but must report a cheaper per-program
+	// power on the identical workload.
+	ida := idaflash.IDA(0.2)
+	idaRes, err := idaflash.RunWorkload(p, ida)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ilwc := idaflash.IDA(0.2)
+	ilwc.Coding = idaflash.CodingILWC
+	ilwcRes, err := idaflash.RunWorkload(p, ilwc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ilwcRes.MeanReadResponse != idaRes.MeanReadResponse {
+		t.Errorf("ilwc read response %v differs from ida %v (same state map)", ilwcRes.MeanReadResponse, idaRes.MeanReadResponse)
+	}
+	if ilwcRes.MeanProgramPower >= idaRes.MeanProgramPower {
+		t.Errorf("ilwc power %v not below ida %v", ilwcRes.MeanProgramPower, idaRes.MeanProgramPower)
+	}
+}
+
+var errFake = errors.New("fake simulation failure")
+
 func TestVendor232System(t *testing.T) {
 	p := smallProfile(t, "proj_3")
 	sys := idaflash.IDA(0.2)
@@ -246,7 +332,7 @@ func TestVendor232System(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.FTL.Scheme == nil || cfg.FTL.Scheme.Senses(idaflash.CSB) != 3 {
+	if cfg.FTL.Code == nil || cfg.FTL.Code.Senses(idaflash.CSB) != 3 {
 		t.Error("vendor scheme not wired into the FTL")
 	}
 	// Vendor coding requires TLC.

@@ -319,7 +319,20 @@ func Merge(name string, per []ssd.Results) ssd.Results {
 	var worstP99 time.Duration  // fallback when histograms are absent
 	var bytesMB, readMB float64 // total host MB moved, from per-device rates
 	var utilDevs int
+	var totalBlocks int
 	for _, r := range per {
+		// All members run the same coding scheme, so the name copies.
+		c.Coding = r.Coding
+		// Wear pools across members: extremes widen, means weight by
+		// each device's block count.
+		if totalBlocks == 0 || r.Wear.MinErase < c.Wear.MinErase {
+			c.Wear.MinErase = r.Wear.MinErase
+		}
+		if r.Wear.MaxErase > c.Wear.MaxErase {
+			c.Wear.MaxErase = r.Wear.MaxErase
+		}
+		c.Wear.MeanErase += r.Wear.MeanErase * float64(r.Usage.Total)
+		totalBlocks += r.Usage.Total
 		c.ReadRequests += r.ReadRequests
 		c.WriteRequests += r.WriteRequests
 		readHist.Merge(r.ReadHist)
@@ -382,9 +395,17 @@ func Merge(name string, per []ssd.Results) ssd.Results {
 		c.ThroughputMBps = bytesMB / secs
 		c.ReadMBps = readMB / secs
 	}
+	if totalBlocks > 0 {
+		c.Wear.MeanErase /= float64(totalBlocks)
+	}
+	c.Wear.Spread = c.Wear.MaxErase - c.Wear.MinErase
+	c.PowerProxy = c.FTL.ProgramPower
 	if hw := c.FTL.HostWrites; hw > 0 {
 		total := hw + c.FTL.GCMoves + c.FTL.RefreshMoves + c.FTL.IDACorruptedWrites
 		c.WriteAmplification = float64(total) / float64(hw)
+		if programs := total + c.FTL.ProgramFailures; programs > 0 {
+			c.MeanProgramPower = c.PowerProxy / float64(programs)
+		}
 	}
 	return c
 }

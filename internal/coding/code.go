@@ -1,0 +1,94 @@
+package coding
+
+// Code is a pluggable cell coding: the contract every layer of the
+// simulator programs against. A code supplies the state map (which bit
+// tuple each ordered voltage state stores), the sensing counts that map
+// implies per page kind, the IDA merge/adjust rules (how states collapse
+// when pages are invalidated), and the per-program power/wear cost hooks
+// that make schemes with identical latency but different programmed-cell
+// populations (e.g. inverted limited-weight coding) comparable in the same
+// harness.
+//
+// Implementations must be immutable after construction and safe for
+// concurrent use; every slice- or pointer-returning method returns shared
+// precomputed state that callers must not modify. Merge and PlanWordline
+// are hot-path methods: they must be allocation-free lookups, not
+// recomputations (see *Scheme, which precomputes all 2^bits masks).
+type Code interface {
+	// Name is the registry name of the code ("ida", "randio", "ilwc").
+	Name() string
+
+	// Bits returns the number of bits stored per cell; States returns the
+	// number of voltage states (2^Bits); Value returns the value of bit j
+	// when the cell is in voltage state s. Together they are the state map.
+	Bits() int
+	States() int
+	Value(s int, j PageType) uint8
+
+	// ReadLevels returns the read-voltage positions of page j under the
+	// conventional (unmerged) coding, Senses the resulting sensing count,
+	// and MaxSenses the cost of the slowest page.
+	ReadLevels(j PageType) []int
+	Senses(j PageType) int
+	MaxSenses() int
+
+	// Merge returns the IDA voltage-adjustment result for a validity mask;
+	// PlanWordline is the Table I refresh decision generalized to the
+	// code's state map. Both return precomputed shared state.
+	Merge(mask ValidMask) *Merged
+	PlanWordline(mask ValidMask) Plan
+
+	// ProgramCost returns the power/wear proxies of programming host data
+	// through this code.
+	ProgramCost() CellCost
+}
+
+// CellCost is a code's per-program power/wear proxy, computed from the
+// distribution of voltage states the code's codewords land on. Both fields
+// are per-cell expectations over one full wordline program; a single page
+// program accounts for 1/Bits of them.
+type CellCost struct {
+	// MeanLevel is the expected voltage-state index a cell is programmed
+	// to (0 = erased, States-1 = highest). ISPP charge transferred — and
+	// with it program power and cell stress — grows with the target
+	// level, so this is the power/wear proxy the coding-lab experiments
+	// compare. A uniform bijective code lands on (States-1)/2.
+	MeanLevel float64
+	// ProgrammedFrac is the expected fraction of cells moved off the
+	// erased state at all. Inverted limited-weight coding exists to
+	// shrink exactly this number.
+	ProgrammedFrac float64
+}
+
+// uniformCost is the cost of a code whose codewords hit every state with
+// equal probability — any bijective state map under uniform host data.
+func uniformCost(states int) CellCost {
+	return CellCost{
+		MeanLevel:      float64(states-1) / 2,
+		ProgrammedFrac: 1 - 1/float64(states),
+	}
+}
+
+// biasedCost computes the cost of a state map whose stored bits are not
+// uniform: each bit is 1 independently with probability pOne. Limited-weight
+// codes shape exactly this distribution — inversion guarantees codewords
+// carry more ones than zeros, and (with the erased state storing all ones)
+// more ones means lower voltage states.
+func biasedCost(c *Scheme, pOne float64) CellCost {
+	var cost CellCost
+	for s := 0; s < c.states; s++ {
+		p := 1.0
+		for j := 0; j < c.bits; j++ {
+			if c.values[s][j] == 1 {
+				p *= pOne
+			} else {
+				p *= 1 - pOne
+			}
+		}
+		cost.MeanLevel += float64(s) * p
+		if s != 0 {
+			cost.ProgrammedFrac += p
+		}
+	}
+	return cost
+}

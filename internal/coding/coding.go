@@ -55,8 +55,12 @@ func (p PageType) String() string {
 }
 
 // Scheme is an immutable cell coding: an assignment of bit tuples to the
-// ordered voltage states of a b-bit cell.
+// ordered voltage states of a b-bit cell. It is the base implementation of
+// the Code interface; the registered codes are either Schemes with
+// different state maps (ida, randio) or thin wrappers overriding the cost
+// hooks (ilwc).
 type Scheme struct {
+	name   string
 	bits   int
 	states int
 	// values[s][j] is the value (0 or 1) of bit j when the cell is in
@@ -66,7 +70,19 @@ type Scheme struct {
 	// ascending order. Level v is the boundary between states v and v+1
 	// (0 <= v < states-1).
 	readLevels [][]int
+	// cost is the per-program power/wear proxy (uniform over states for a
+	// plain bijective map; constructors may override it).
+	cost CellCost
+	// merges[mask] and plans[mask] are the precomputed IDA merge results
+	// and Table I refresh plans for every validity mask, built once at
+	// construction so Merge and PlanWordline are allocation-free lookups
+	// on the simulation hot path.
+	merges []*Merged
+	plans  []Plan
 }
+
+// Scheme implements Code.
+var _ Code = (*Scheme)(nil)
 
 // NewGray builds the standard binary-reflected Gray coding used by the paper
 // (Figure 2 for TLC, Figure 6 for QLC): bit j has exactly 2^j transitions, so
@@ -92,6 +108,7 @@ func NewGray(bits int) *Scheme {
 	if err != nil {
 		panic("coding: internal error building Gray scheme: " + err.Error())
 	}
+	sch.name = CodeIDA
 	return sch
 }
 
@@ -145,6 +162,20 @@ func NewCustom(values [][]uint8) (*Scheme, error) {
 			return nil, fmt.Errorf("coding: bit %d is constant across all states", j)
 		}
 	}
+	sch.name = "custom"
+	sch.cost = uniformCost(states)
+	// Precompute the merge result and refresh plan of every validity mask
+	// (there are only 2^bits of them), so the hot-path Merge and
+	// PlanWordline calls are allocation-free table lookups.
+	sch.merges = make([]*Merged, states)
+	sch.plans = make([]Plan, states)
+	for m := ValidMask(0); int(m) < states; m++ {
+		sch.merges[m] = sch.computeMerge(m)
+	}
+	// Plans second: computePlan reads the merge table through Merge.
+	for m := ValidMask(0); int(m) < states; m++ {
+		sch.plans[m] = sch.computePlan(m)
+	}
 	return sch, nil
 }
 
@@ -168,8 +199,17 @@ func Vendor232TLC() *Scheme {
 	if err != nil {
 		panic("coding: internal error building 2-3-2 scheme: " + err.Error())
 	}
+	sch.name = CodeIDA
 	return sch
 }
+
+// Name returns the registry name of the code family this scheme belongs to
+// ("ida" for the Gray and vendor maps, "randio" for the balanced map,
+// "custom" for NewCustom schemes).
+func (c *Scheme) Name() string { return c.name }
+
+// ProgramCost returns the per-program power/wear proxy of the scheme.
+func (c *Scheme) ProgramCost() CellCost { return c.cost }
 
 // Bits returns the number of bits stored per cell.
 func (c *Scheme) Bits() int { return c.bits }

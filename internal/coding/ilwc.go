@@ -1,0 +1,34 @@
+package coding
+
+// ilwcPOne is the probability that a stored bit is 1 after inverted
+// limited-weight coding over 16-bit chunks (arXiv 1907.02622): each chunk is
+// inverted when it carries more zeros than ones, so a uniform chunk stores
+// max(k, 16-k) ones where k ~ Binomial(16, 1/2). E[max] = 8 + 8*C(16,8)/2^16
+// ≈ 9.571 ones out of 16, i.e. p ≈ 0.598.
+const ilwcPOne = 0.598
+
+// ilwcCode is inverted limited-weight coding: the Gray state map (latency is
+// identical to the ida code) fed bit-biased data. With the erased state
+// storing all ones, biasing stored bits toward 1 shifts the programmed state
+// distribution toward low voltages, which the cost hooks expose as lower
+// MeanLevel and ProgrammedFrac. Everything except the name and cost is the
+// embedded Scheme's behaviour.
+type ilwcCode struct {
+	*Scheme
+	cost CellCost
+}
+
+var _ Code = (*ilwcCode)(nil)
+
+// NewILWC builds the inverted limited-weight code for the given bits-per-cell.
+func NewILWC(bits int) Code {
+	g := NewGray(bits)
+	return &ilwcCode{Scheme: g, cost: biasedCost(g, ilwcPOne)}
+}
+
+// Name identifies the code in the registry.
+func (c *ilwcCode) Name() string { return CodeILWC }
+
+// ProgramCost returns the biased-data power/wear proxy: the whole point of
+// the code.
+func (c *ilwcCode) ProgramCost() CellCost { return c.cost }

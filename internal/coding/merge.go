@@ -45,14 +45,21 @@ type Merged struct {
 	readLevels [][]int
 }
 
-// Merge computes the IDA voltage adjustment for the scheme under the given
-// valid mask. States whose valid-bit projections coincide form an
-// equivalence class; every class collapses onto its highest-voltage member
-// (the only member every other member can reach by adding charge). If the
-// mask is empty or covers all bits, merging is still well defined: a full
-// mask yields the identity transform, an empty mask collapses everything to
-// the top state.
+// Merge returns the IDA voltage adjustment for the scheme under the given
+// valid mask: states whose valid-bit projections coincide form an
+// equivalence class, and every class collapses onto its highest-voltage
+// member (the only member every other member can reach by adding charge).
+// If the mask is empty or covers all bits, merging is still well defined: a
+// full mask yields the identity transform, an empty mask collapses
+// everything to the top state. Mask bits beyond the cell's bit count are
+// ignored. The result is precomputed and shared; it must not be modified.
 func (c *Scheme) Merge(mask ValidMask) *Merged {
+	return c.merges[mask&MaskAll(c.bits)]
+}
+
+// computeMerge builds the merge result for one mask (construction time
+// only; hot-path callers go through the precomputed Merge table).
+func (c *Scheme) computeMerge(mask ValidMask) *Merged {
 	m := &Merged{scheme: c, mask: mask}
 	m.target = make([]int, c.states)
 
@@ -144,6 +151,15 @@ func (m *Merged) MoveDistance() (total, max int) {
 		}
 	}
 	return total, max
+}
+
+// MeanMove returns the expected per-cell voltage-level distance the
+// adjustment moves a cell, assuming the states are uniformly occupied. It
+// is the power/wear proxy of one voltage adjustment, in the same units as
+// CellCost.MeanLevel.
+func (m *Merged) MeanMove() float64 {
+	total, _ := m.MoveDistance()
+	return float64(total) / float64(m.scheme.states)
 }
 
 // String summarizes the merge result.

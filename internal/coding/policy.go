@@ -75,8 +75,15 @@ type Plan struct {
 // the maximal all-valid suffix of pages that excludes at least the fastest
 // page, and relocating every other valid page. For TLC this reproduces
 // Table I exactly: cases 1-2 keep CSB+MSB, cases 3-4 keep MSB only, cases
-// 5-7 relocate, case 8 does nothing.
+// 5-7 relocate, case 8 does nothing. The returned plan shares precomputed
+// state (Move, KeptSenses); callers must treat it as read-only.
 func (c *Scheme) PlanWordline(mask ValidMask) Plan {
+	return c.plans[mask&MaskAll(c.bits)]
+}
+
+// computePlan builds the refresh plan for one mask (construction time
+// only; hot-path callers go through the precomputed PlanWordline table).
+func (c *Scheme) computePlan(mask ValidMask) Plan {
 	var p Plan
 	top := PageType(c.bits - 1)
 	if c.bits == 1 || !mask.Has(top) {

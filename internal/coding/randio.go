@@ -1,0 +1,84 @@
+package coding
+
+import "fmt"
+
+// NewRandIO builds the random-I/O coding of Sharon and Alrod
+// (arXiv 1202.6481): a state map whose per-bit transition counts are as
+// balanced as possible, so the worst page costs ceil((2^b-1)/b) sensings
+// instead of the Gray MSB's 2^(b-1). For TLC the per-page counts are
+// [3,2,2] (worst page 3 instead of 4); for QLC [4,4,4,3] (worst page 4
+// instead of 8). The mean sensing count is unchanged — the code trades the
+// Gray map's fast LSB for a flat latency profile, which is what makes it
+// attractive for random small reads.
+//
+// The map is constructed as a Gray path (adjacent states differ in exactly
+// one bit) through all 2^b tuples, starting at the all-ones erased tuple,
+// where each bit is flipped exactly its target number of times. The path is
+// found by a deterministic depth-first search that tries bits in ascending
+// index order, so the same bits always yields the same map. The search is
+// instantaneous up to QLC but backtracks exponentially beyond it, so the
+// constructor is capped at 4 bits per cell — every real flash geometry.
+func NewRandIO(bits int) *Scheme {
+	if bits < 1 || bits > 4 {
+		panic(fmt.Sprintf("coding: NewRandIO bits %d out of range [1,4]", bits))
+	}
+	states := 1 << bits
+	// A Gray path over 2^b states has 2^b-1 single-bit transitions; split
+	// them as evenly as possible, giving the remainder to the lowest bit
+	// indexes (the pages that are fastest under Gray coding).
+	budget := make([]int, bits)
+	for j := 0; j < bits; j++ {
+		budget[j] = (states - 1) / bits
+		if j < (states-1)%bits {
+			budget[j]++
+		}
+	}
+
+	start := states - 1 // all-ones tuple: the erased state
+	path := make([]int, 1, states)
+	path[0] = start
+	visited := make([]bool, states)
+	visited[start] = true
+	var dfs func(cur int) bool
+	dfs = func(cur int) bool {
+		if len(path) == states {
+			return true
+		}
+		for j := 0; j < bits; j++ {
+			if budget[j] == 0 {
+				continue
+			}
+			next := cur ^ (1 << uint(j))
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			budget[j]--
+			path = append(path, next)
+			if dfs(next) {
+				return true
+			}
+			path = path[:len(path)-1]
+			budget[j]++
+			visited[next] = false
+		}
+		return false
+	}
+	if !dfs(start) {
+		panic(fmt.Sprintf("coding: no balanced Gray path for %d bits", bits))
+	}
+
+	values := make([][]uint8, states)
+	for s, tuple := range path {
+		values[s] = make([]uint8, bits)
+		for j := 0; j < bits; j++ {
+			values[s][j] = uint8((tuple >> uint(j)) & 1)
+		}
+	}
+	sch, err := NewCustom(values)
+	if err != nil {
+		panic("coding: internal error building randio scheme: " + err.Error())
+	}
+	sch.name = CodeRandIO
+	return sch
+}

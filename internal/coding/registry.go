@@ -1,0 +1,83 @@
+package coding
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry names of the built-in codes. These are the values accepted by the
+// idasim -coding flag and the server's "coding" request field.
+const (
+	// CodeIDA is the paper's coding: binary-reflected Gray state map
+	// (or the vendor 2-3-2 TLC variant) with the IDA merge rules.
+	CodeIDA = "ida"
+	// CodeRandIO is Sharon/Alrod random-I/O coding (arXiv 1202.6481):
+	// a state map whose per-bit transition counts are balanced so no
+	// page pays the full 2^(b-1) sensings of the Gray MSB.
+	CodeRandIO = "randio"
+	// CodeILWC is inverted limited-weight coding (arXiv 1907.02622):
+	// the Gray map fed bit-biased data so fewer cells leave the erased
+	// state, trading nothing in latency for lower program power.
+	CodeILWC = "ilwc"
+)
+
+// DefaultCode is the code used when none is requested.
+const DefaultCode = CodeIDA
+
+// Constructor builds a code for a given bits-per-cell geometry.
+type Constructor func(bits int) (Code, error)
+
+var registry = map[string]Constructor{
+	CodeIDA: func(bits int) (Code, error) { return NewGray(bits), nil },
+	CodeRandIO: func(bits int) (Code, error) {
+		if bits > 4 {
+			return nil, fmt.Errorf("coding: code %q supports 1..4 bits/cell, got %d", CodeRandIO, bits)
+		}
+		return NewRandIO(bits), nil
+	},
+	CodeILWC: func(bits int) (Code, error) { return NewILWC(bits), nil },
+}
+
+// Register adds a named code constructor. It panics on a duplicate name so
+// collisions surface at init time rather than silently shadowing a code.
+func Register(name string, ctor Constructor) {
+	if name == "" || ctor == nil {
+		panic("coding: Register with empty name or nil constructor")
+	}
+	if _, ok := registry[name]; ok {
+		panic(fmt.Sprintf("coding: code %q registered twice", name))
+	}
+	registry[name] = ctor
+}
+
+// New builds the named code for the given bits-per-cell. The name must be
+// registered and the bits must be in the code's supported range.
+func New(name string, bits int) (Code, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("coding: unknown code %q (known: %v)", name, Names())
+	}
+	if bits < 1 || bits > 8 {
+		return nil, fmt.Errorf("coding: code %q needs bits in [1,8], got %d", name, bits)
+	}
+	return ctor(bits)
+}
+
+// Default returns the default code for the given bits-per-cell.
+func Default(bits int) Code {
+	c, err := New(DefaultCode, bits)
+	if err != nil {
+		panic("coding: building default code: " + err.Error())
+	}
+	return c
+}
+
+// Names lists the registered code names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -25,6 +25,7 @@ func All() []Experiment {
 		{"ABL", "Ablations: policy and adjustment-latency variants", Ablations},
 		{"WRI", "Section III-C: write-intensive follow-up interference", WriteInterference},
 		{"V232", "Section III-B: IDA on the vendor 2-3-2 TLC coding", Vendor232},
+		{"CMP", "Coding lab: ida vs randio vs ilwc head-to-head", CodingComparison},
 	}
 }
 

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"idaflash"
+)
+
+// codingLabSystems returns the IDA-E20 system for each registered coding
+// scheme, named so rows and memo keys stay distinct.
+func codingLabSystems() []idaflash.System {
+	var systems []idaflash.System
+	for _, name := range idaflash.CodingNames() {
+		sys := idaflash.IDA(0.20)
+		sys.Name = "IDA-E20-" + name
+		sys.Coding = name
+		systems = append(systems, sys)
+	}
+	return systems
+}
+
+// CodingComparison runs the coding lab head-to-head: the same IDA-E20
+// refresh policy under each registered coding scheme (ida's Gray map,
+// randio's balanced map, ilwc's biased-data Gray map), reporting the three
+// axes the schemes trade against each other — read latency, P/E wear, and
+// the program power proxy. The paper's IDA machinery is scheme-agnostic
+// (Section III-B); this table shows what each alternative map buys and
+// pays: randio flattens read latency by balancing per-page sensings, ilwc
+// keeps Gray's latency but programs fewer, lower voltage cells.
+func CodingComparison(r *Runner) (*Table, error) {
+	profiles := r.profiles()
+	systems := codingLabSystems()
+	if err := r.RunAll(crossProduct(profiles, systems)); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "CMP",
+		Title: "Coding lab: read latency, wear, and program power per coding scheme (IDA-E20)",
+		Notes: []string{
+			"Read: mean read response in us. Wear: mean block erase count. Power: mean per-program power proxy (expected per-cell voltage levels charged).",
+			"randio balances per-page sensings (TLC worst page 3 instead of Gray's 4); ilwc keeps Gray latency but biases programmed cells toward low states, cutting the power proxy.",
+		},
+	}
+	t.Header = []string{"Name"}
+	for _, sys := range systems {
+		scheme := sys.Coding
+		t.Header = append(t.Header,
+			scheme+" read(us)", scheme+" wear", scheme+" power")
+	}
+	sums := make([]float64, 3*len(systems))
+	for _, p := range profiles {
+		row := []string{p.Name}
+		for i, sys := range systems {
+			res, err := r.Run(p, sys)
+			if err != nil {
+				return nil, err
+			}
+			read := res.MeanReadResponse.Seconds() * 1e6
+			wear := res.Wear.MeanErase
+			power := res.MeanProgramPower
+			sums[3*i] += read
+			sums[3*i+1] += wear
+			sums[3*i+2] += power
+			row = append(row, f1(read), f2(wear), f2(power))
+			if res.Coding != sys.Coding {
+				return nil, fmt.Errorf("experiments: system %s reported coding %q", sys.Name, res.Coding)
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	n := float64(len(profiles))
+	avg := []string{"average"}
+	for i := range systems {
+		avg = append(avg, f1(sums[3*i]/n), f2(sums[3*i+1]/n), f2(sums[3*i+2]/n))
+	}
+	t.Rows = append(t.Rows, avg)
+	return t, nil
+}

@@ -239,8 +239,8 @@ func TestBlockUsageShape(t *testing.T) {
 
 func TestAllAndByID(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("experiments = %d, want 13", len(all))
+	if len(all) != 14 {
+		t.Fatalf("experiments = %d, want 14", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -375,6 +375,52 @@ func TestTableCSV(t *testing.T) {
 	got := buf.String()
 	if !strings.Contains(got, "a,b\n") || !strings.Contains(got, `"two, quoted"`) {
 		t.Errorf("csv output:\n%s", got)
+	}
+}
+
+func TestCodingComparisonShape(t *testing.T) {
+	tb, err := CodingComparison(runner(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eleven profiles plus the average row; one name column plus three
+	// metric columns per registered coding scheme.
+	if len(tb.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	wantCols := 1 + 3*len(idaflash.CodingNames())
+	if len(tb.Header) != wantCols {
+		t.Fatalf("header has %d columns, want %d", len(tb.Header), wantCols)
+	}
+	avg := lastRow(tb)
+	if len(avg) != wantCols {
+		t.Fatalf("average row has %d columns, want %d", len(avg), wantCols)
+	}
+	// Column order follows sorted CodingNames(): ida, ilwc, randio.
+	idaRead, idaPower := cell(t, avg[1]), cell(t, avg[3])
+	ilwcRead, ilwcPower := cell(t, avg[4]), cell(t, avg[6])
+	randioPower := cell(t, avg[9])
+	// ilwc shares the Gray state map, so its latency matches ida's, but
+	// its biased programmed-cell population must cost less power.
+	if diff := ilwcRead - idaRead; diff > idaRead*0.01 || diff < -idaRead*0.01 {
+		t.Errorf("ilwc read %.1f differs from ida %.1f beyond 1%%", ilwcRead, idaRead)
+	}
+	if ilwcPower >= idaPower {
+		t.Errorf("ilwc power %.2f not below ida %.2f", ilwcPower, idaPower)
+	}
+	// Bijective maps under uniform data cost the same per page program,
+	// but run-level power also folds in IDA voltage adjustments, whose
+	// MeanMove comes from each scheme's own merge table — so randio only
+	// lands near ida, not on it.
+	if diff := randioPower - idaPower; diff > idaPower*0.2 || diff < -idaPower*0.2 {
+		t.Errorf("randio power %.2f not within 20%% of ida %.2f", randioPower, idaPower)
+	}
+	for _, row := range tb.Rows {
+		for i, c := range row[1:] {
+			if v := cell(t, c); v < 0 {
+				t.Fatalf("negative cell %d in row %s: %v", i, row[0], v)
+			}
+		}
 	}
 }
 

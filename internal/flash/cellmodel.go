@@ -2,48 +2,52 @@ package flash
 
 import (
 	"fmt"
-	"sync"
 
 	"idaflash/internal/coding"
 )
 
-// CellModel bundles a coding scheme with a cache of IDA merge results, so
-// the hot read path can resolve "how many sensings does this page need right
-// now" without recomputing merges. It is safe for concurrent use.
+// CellModel bundles a coding.Code with the per-page cost accounting the FTL
+// charges on every program, so the hot read path can resolve "how many
+// sensings does this page need right now" and the write path "how much
+// charge does this program transfer" without touching the code's internals.
+// Codes precompute their merge tables, so the model is a thin stateless
+// adapter and safe for concurrent use.
 type CellModel struct {
-	scheme *coding.Scheme
+	code coding.Code
 
-	mu     sync.Mutex
-	merged map[coding.ValidMask]*coding.Merged
+	// pagePower and pageCells are the code's per-wordline program cost
+	// split per page: one page program accounts for 1/bits of the
+	// wordline's expected charge and programmed-cell population.
+	pagePower float64
+	pageCells float64
 }
 
-// NewCellModel builds a model around the given scheme.
-func NewCellModel(s *coding.Scheme) *CellModel {
-	return &CellModel{scheme: s, merged: make(map[coding.ValidMask]*coding.Merged)}
+// NewCellModel builds a model around the given code.
+func NewCellModel(c coding.Code) *CellModel {
+	cost := c.ProgramCost()
+	bits := float64(c.Bits())
+	return &CellModel{
+		code:      c,
+		pagePower: cost.MeanLevel / bits,
+		pageCells: cost.ProgrammedFrac / bits,
+	}
 }
 
-// Scheme returns the underlying coding scheme.
-func (m *CellModel) Scheme() *coding.Scheme { return m.scheme }
+// Code returns the underlying coding scheme.
+func (m *CellModel) Code() coding.Code { return m.code }
 
 // Bits returns the bits per cell.
-func (m *CellModel) Bits() int { return m.scheme.Bits() }
+func (m *CellModel) Bits() int { return m.code.Bits() }
 
-// Merged returns the (cached) merge result for a valid mask.
+// Merged returns the precomputed merge result for a valid mask.
 func (m *CellModel) Merged(mask coding.ValidMask) *coding.Merged {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if r, ok := m.merged[mask]; ok {
-		return r
-	}
-	r := m.scheme.Merge(mask)
-	m.merged[mask] = r
-	return r
+	return m.code.Merge(mask)
 }
 
 // ConventionalSenses returns the sensing count for page t under the
 // conventional coding.
 func (m *CellModel) ConventionalSenses(t coding.PageType) int {
-	return m.scheme.Senses(t)
+	return m.code.Senses(t)
 }
 
 // IDASenses returns the sensing count for page t on a wordline that was
@@ -54,10 +58,25 @@ func (m *CellModel) IDASenses(keep coding.ValidMask, t coding.PageType) int {
 	if !keep.Has(t) {
 		panic(fmt.Sprintf("flash: reading page %v of an IDA wordline that kept only %b", t, keep))
 	}
-	return m.Merged(keep).Senses(t)
+	return m.code.Merge(keep).Senses(t)
 }
 
-// PlanWordline forwards to the scheme's Table I generalization.
+// PlanWordline forwards to the code's Table I generalization.
 func (m *CellModel) PlanWordline(mask coding.ValidMask) coding.Plan {
-	return m.scheme.PlanWordline(mask)
+	return m.code.PlanWordline(mask)
+}
+
+// PageProgramPower is the power/wear proxy of one page program: the expected
+// per-cell voltage level the program charges, attributed 1/bits per page.
+func (m *CellModel) PageProgramPower() float64 { return m.pagePower }
+
+// PageProgrammedCells is the expected fraction of cells one page program
+// moves off the erased state, attributed 1/bits per page.
+func (m *CellModel) PageProgrammedCells() float64 { return m.pageCells }
+
+// AdjustPower is the power/wear proxy of one IDA voltage adjustment on a
+// wordline whose kept pages are given by keep: the expected per-cell level
+// distance the adjustment sweeps.
+func (m *CellModel) AdjustPower(keep coding.ValidMask) float64 {
+	return m.code.Merge(keep).MeanMove()
 }

@@ -135,7 +135,7 @@ func TestCellModel(t *testing.T) {
 	if p := m.PlanWordline(coding.MaskAll(3)); !p.Apply {
 		t.Error("PlanWordline should apply for case 1")
 	}
-	if m.Scheme() == nil {
-		t.Error("Scheme() nil")
+	if m.Code() == nil {
+		t.Error("Code() nil")
 	}
 }

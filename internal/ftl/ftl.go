@@ -87,9 +87,9 @@ func (h *Hooks) refresh(job *RefreshJob) {
 type Options struct {
 	// Geometry is the physical device shape. Required.
 	Geometry flash.Geometry
-	// Scheme is the cell coding; defaults to the Gray coding matching
-	// Geometry.BitsPerCell.
-	Scheme *coding.Scheme
+	// Code is the cell coding; defaults to the registry's default code
+	// (the paper's Gray/IDA coding) matching Geometry.BitsPerCell.
+	Code coding.Code
 	// Order is the in-block programming schedule; defaults to the shadow
 	// (staircase) order real devices use.
 	Order flash.OrderKind
@@ -139,11 +139,11 @@ func (o Options) withDefaults() (Options, error) {
 	if err := o.Geometry.Validate(); err != nil {
 		return o, err
 	}
-	if o.Scheme == nil {
-		o.Scheme = coding.NewGray(o.Geometry.BitsPerCell)
+	if o.Code == nil {
+		o.Code = coding.Default(o.Geometry.BitsPerCell)
 	}
-	if o.Scheme.Bits() != o.Geometry.BitsPerCell {
-		return o, fmt.Errorf("ftl: scheme has %d bits but geometry says %d", o.Scheme.Bits(), o.Geometry.BitsPerCell)
+	if o.Code.Bits() != o.Geometry.BitsPerCell {
+		return o, fmt.Errorf("ftl: scheme has %d bits but geometry says %d", o.Code.Bits(), o.Geometry.BitsPerCell)
 	}
 	if o.ErrorRate < 0 || o.ErrorRate > 1 {
 		return o, fmt.Errorf("ftl: ErrorRate %v out of [0,1]", o.ErrorRate)
@@ -236,7 +236,7 @@ func New(opts Options) (*FTL, error) {
 	f := &FTL{
 		opts:  opts,
 		geom:  g,
-		cells: flash.NewCellModel(opts.Scheme),
+		cells: flash.NewCellModel(opts.Code),
 		order: flash.NewProgramOrder(g.WordlinesPerBlock, g.BitsPerCell, opts.Order),
 		rng:   rand.New(rand.NewSource(opts.Seed ^ 0x49444146)),
 		l2p:   newL2P(g.TotalPages()),

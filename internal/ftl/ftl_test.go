@@ -261,7 +261,7 @@ func TestOptionsValidation(t *testing.T) {
 		{Geometry: good, RefreshPeriod: -time.Second},
 		{Geometry: good, GCFreeBlocks: -1},
 		{Geometry: good, GCFreeBlocks: 8},
-		{Geometry: good, Scheme: coding.NewGray(2)},
+		{Geometry: good, Code: coding.NewGray(2)},
 	}
 	for i, o := range cases {
 		if _, err := New(o); err == nil {

@@ -252,8 +252,11 @@ func (f *FTL) refreshIDA(pl flash.PlaneID, blk int, now sim.Time, job *RefreshJo
 			continue
 		}
 		// Step 4: the wordline is reprogrammed; record its new coding.
+		// The adjustment's ISPP sweep transfers charge too: its power
+		// proxy is the expected per-cell level distance of the merge.
 		b.wlKeep[wl] = plan.Keep
 		job.AdjustedWLs++
+		f.stats.ProgramPower += f.cells.AdjustPower(plan.Keep)
 		// Walk page types in order (not the KeptSenses map) so the
 		// corruption draws below consume randomness deterministically.
 		for t := coding.PageType(0); int(t) < f.geom.BitsPerCell; t++ {

@@ -381,7 +381,7 @@ func TestTableIVShapeAtE20(t *testing.T) {
 func TestCoding232SchemeInFTL(t *testing.T) {
 	// The FTL accepts a custom scheme; with the 2-3-2 coding the page
 	// sensing counts follow that scheme.
-	opts := Options{Geometry: tinyGeom(), Scheme: coding.Vendor232TLC(), Order: flash.OrderSequential}
+	opts := Options{Geometry: tinyGeom(), Code: coding.Vendor232TLC(), Order: flash.OrderSequential}
 	f := mustFTL(t, opts)
 	for i := LPN(0); i < 3; i++ {
 		f.Write(i, 0)

@@ -32,6 +32,17 @@ type Stats struct {
 	IDACorruptedWrites uint64
 	IDAKeptPages       uint64
 
+	// Program power/wear proxies, accumulated from the coding scheme's
+	// cost hooks: ProgramPower sums the expected per-cell voltage level
+	// charged by every page program (including failed attempts) plus the
+	// level distance swept by IDA voltage adjustments; ProgrammedCells
+	// sums the expected fraction of cells each program moves off the
+	// erased state. Units are per-cell voltage levels / cell fractions,
+	// so schemes with identical latency but different programmed-state
+	// distributions (ilwc vs ida) become comparable.
+	ProgramPower    float64
+	ProgrammedCells float64
+
 	// Fault-injection recovery counters (internal/faults scenarios).
 	// ProgramFailures counts failed page programs remapped to another
 	// block; EraseFailures counts erases that failed outright; a block
@@ -69,6 +80,8 @@ func (s Stats) Add(o Stats) Stats {
 	s.IDAVerifyReads += o.IDAVerifyReads
 	s.IDACorruptedWrites += o.IDACorruptedWrites
 	s.IDAKeptPages += o.IDAKeptPages
+	s.ProgramPower += o.ProgramPower
+	s.ProgrammedCells += o.ProgrammedCells
 	s.ProgramFailures += o.ProgramFailures
 	s.EraseFailures += o.EraseFailures
 	s.RetiredBlocks += o.RetiredBlocks

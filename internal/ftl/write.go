@@ -74,12 +74,14 @@ func (f *FTL) claimPage(now sim.Time, pl flash.PlaneID) (ppn, int, error) {
 			return 0, failed, err
 		}
 		if f.opts.Faults == nil {
+			f.chargeProgram(1 + failed)
 			return p, failed, nil
 		}
 		ps := f.planes[pl]
 		_, blk, _ := f.unpackPPN(p)
 		b := ps.blocks[blk]
 		if !f.opts.Faults.ProgramFails(f.addrOf(p), b.eraseCount) {
+			f.chargeProgram(1 + failed)
 			return p, failed, nil
 		}
 		failed++
@@ -229,6 +231,14 @@ func (f *FTL) retireBlock(b *block) {
 		b.wlKeep[i] = 0
 	}
 	f.stats.RetiredBlocks++
+}
+
+// chargeProgram accumulates the coding scheme's power/wear proxies for the
+// given number of program pulses (the successful one plus any attempts the
+// fault model failed — those transferred charge into the now-bad block too).
+func (f *FTL) chargeProgram(attempts int) {
+	f.stats.ProgramPower += float64(attempts) * f.cells.PageProgramPower()
+	f.stats.ProgrammedCells += float64(attempts) * f.cells.PageProgrammedCells()
 }
 
 // relocate moves a valid physical page to a freshly-allocated page in the

@@ -209,10 +209,13 @@ type SystemSpec struct {
 	IDA         bool    `json:"ida,omitempty"`
 	ErrorRate   float64 `json:"error_rate,omitempty"`
 	BitsPerCell int     `json:"bits_per_cell,omitempty"`
-	Scheduler   string  `json:"scheduler,omitempty"`
-	Devices     int     `json:"devices,omitempty"`
-	StripeKB    int     `json:"stripe_kb,omitempty"`
-	Parity      bool    `json:"parity,omitempty"`
+	// Coding selects the cell coding scheme by registry name ("ida",
+	// "randio", "ilwc"); empty means the default ("ida").
+	Coding    string `json:"coding,omitempty"`
+	Scheduler string `json:"scheduler,omitempty"`
+	Devices   int    `json:"devices,omitempty"`
+	StripeKB  int    `json:"stripe_kb,omitempty"`
+	Parity    bool   `json:"parity,omitempty"`
 }
 
 // RunResponse is the POST /v1/run success body.
@@ -316,9 +319,17 @@ func (s *Server) parse(r *http.Request) (idaflash.Profile, idaflash.System, time
 	if err != nil {
 		return idaflash.Profile{}, idaflash.System{}, 0, err
 	}
+	coding, err := idaflash.ParseCoding(req.System.Coding)
+	if err != nil {
+		return idaflash.Profile{}, idaflash.System{}, 0, err
+	}
 	sys := idaflash.Baseline()
 	if req.System.IDA {
 		sys = idaflash.IDA(req.System.ErrorRate)
+	}
+	sys.Coding = coding
+	if coding != idaflash.CodingIDA {
+		sys.Name += "-" + coding
 	}
 	sys.BitsPerCell = req.System.BitsPerCell
 	sys.Scheduler = sched

@@ -92,6 +92,38 @@ func TestRunEndpointSuccess(t *testing.T) {
 	}
 }
 
+// TestRunEndpointCodingSelection checks the "coding" request field reaches
+// the run as a validated System.Coding and shows up in the system label.
+func TestRunEndpointCodingSelection(t *testing.T) {
+	var gotSys idaflash.System
+	s := stubServer(Config{Workers: 1}, func(ctx context.Context, p idaflash.Profile, sys idaflash.System) (idaflash.Results, error) {
+		gotSys = sys
+		return idaflash.Results{Trace: p.Name, Coding: sys.Coding}, nil
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json",
+		runBody(t, `,"system":{"ida":true,"error_rate":0.2,"coding":"randio"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var rr RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if gotSys.Coding != idaflash.CodingRandIO {
+		t.Errorf("run saw Coding %q, want %q", gotSys.Coding, idaflash.CodingRandIO)
+	}
+	if rr.System != "IDA-E20-randio" || rr.Results.Coding != idaflash.CodingRandIO {
+		t.Errorf("response = %+v", rr)
+	}
+}
+
 func TestRunEndpointRejectsBadRequests(t *testing.T) {
 	s := stubServer(Config{Workers: 1}, blockingRun(nil, nil))
 	ts := httptest.NewServer(s.Handler())
@@ -102,6 +134,7 @@ func TestRunEndpointRejectsBadRequests(t *testing.T) {
 		`{"profile":"proj_3","unknown_field":1}`,
 		`{"profile":"proj_3","requests":-5}`,
 		`{"profile":"proj_3","system":{"scheduler":"bogus"}}`,
+		`{"profile":"proj_3","system":{"coding":"gray"}}`,
 		`not json`,
 	} {
 		resp, eb, err := postRun(ts, strings.NewReader(body))

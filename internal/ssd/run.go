@@ -48,11 +48,27 @@ type Results struct {
 	ReadMBps       float64
 	UnmappedReads  uint64
 
+	// Coding names the cell coding scheme the device ran (the registry
+	// name: "ida", "randio", "ilwc").
+	Coding string
+
 	// Device internals.
 	FTL       ftl.Stats
 	Usage     ftl.BlockUsage
 	PeakInUse int
 	PeakIDA   int
+
+	// Wear is the end-of-run erase-count distribution across all blocks,
+	// the per-scheme P/E endurance readout of the coding-lab comparison.
+	Wear ftl.Wear
+	// PowerProxy is the cumulative program power/wear proxy of the run:
+	// the coding scheme's expected per-cell voltage levels charged over
+	// every page program plus IDA voltage adjustments (FTL.ProgramPower).
+	PowerProxy float64
+	// MeanProgramPower is PowerProxy divided by the number of program
+	// operations, i.e. the per-program charge the coding scheme costs;
+	// lower is cheaper (ilwc undercuts ida here at identical latency).
+	MeanProgramPower float64
 
 	// Background load.
 	GCBusy      time.Duration
@@ -354,9 +370,15 @@ func (s *SSD) results(name string) Results {
 		WriteHist: s.writeResp.Clone(),
 		Telemetry: s.tel.Export(),
 	}
+	r.Coding = s.f.CellModel().Code().Name()
+	r.Wear = s.f.WearStats()
+	r.PowerProxy = r.FTL.ProgramPower
 	if hw := r.FTL.HostWrites; hw > 0 {
 		total := hw + r.FTL.GCMoves + r.FTL.RefreshMoves + r.FTL.IDACorruptedWrites
 		r.WriteAmplification = float64(total) / float64(hw)
+		if programs := total + r.FTL.ProgramFailures; programs > 0 {
+			r.MeanProgramPower = r.PowerProxy / float64(programs)
+		}
 	}
 	for _, d := range s.dies {
 		r.MeanDieUtilization += d.Utilization()
