@@ -152,6 +152,41 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotRestore measures a fully warm single run: the aged
+// device state is restored from the in-memory snapshot store instead of
+// replaying prefill, the aging preamble, and warmup. The gap to
+// BenchmarkSingleRunIDA is the preamble cost the snapshot path eliminates.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	p, err := idaflash.ProfileByName("hm_1", benchRequests)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the store (and the trace cache) before the timer.
+	if _, err := idaflash.RunWorkload(p, idaflash.IDA(0.2)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idaflash.RunWorkload(p, idaflash.IDA(0.2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8Snapshotted regenerates the headline sweep with every
+// profile's snapshot already captured, the steady state of an experiment
+// sweep iterated during development: all system variants restore their aged
+// devices instead of re-aging them.
+func BenchmarkFigure8Snapshotted(b *testing.B) {
+	warm := experiments.NewRunner(experiments.Options{Requests: benchRequests})
+	if _, err := experiments.Figure8(warm); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchExperiment(b, experiments.Figure8)
+}
+
 // BenchmarkAblations regenerates the design-choice ablation table.
 func BenchmarkAblations(b *testing.B) { benchExperiment(b, experiments.Ablations) }
 

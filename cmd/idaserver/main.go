@@ -6,6 +6,7 @@
 //
 //	idaserver [-listen :8080] [-workers N] [-queue N] [-requests N]
 //	          [-timeout 2m] [-max-timeout 10m] [-drain-timeout 30s]
+//	          [-snapshot-dir dir]
 //
 // Endpoints:
 //
@@ -32,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"idaflash"
 	"idaflash/internal/server"
 )
 
@@ -44,8 +46,15 @@ func main() {
 		timeout      = flag.Duration("timeout", 2*time.Minute, "default per-run deadline")
 		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "largest per-run deadline a client may request")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight runs get to finish on shutdown")
+		snapDir      = flag.String("snapshot-dir", "", "persist aged-device snapshots under this directory so preambles survive restarts")
 	)
 	flag.Parse()
+	if *snapDir != "" {
+		if err := idaflash.SetSnapshotDir(*snapDir); err != nil {
+			fmt.Fprintln(os.Stderr, "idaserver:", err)
+			os.Exit(1)
+		}
+	}
 	if err := run(*listen, server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,

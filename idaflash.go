@@ -29,6 +29,7 @@ package idaflash
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"time"
@@ -40,6 +41,7 @@ import (
 	"idaflash/internal/flash"
 	"idaflash/internal/ftl"
 	"idaflash/internal/sim"
+	"idaflash/internal/snapshot"
 	"idaflash/internal/ssd"
 	"idaflash/internal/telemetry"
 	"idaflash/internal/workload"
@@ -333,6 +335,14 @@ type System struct {
 	// carries the export; for arrays, the per-device streams are merged.
 	// Nil (the default) keeps the simulation hot path allocation-free.
 	Telemetry *TelemetryConfig
+	// NoSnapshot opts this run out of device-state snapshot reuse: the
+	// aging preamble, prefill, and warmup are replayed from scratch
+	// instead of restored from DefaultSnapshots. Snapshots are on by
+	// default because restored runs are byte-identical to replayed ones
+	// (the CI snapshot-equivalence job gates that); the knob exists for
+	// A/B-verifying exactly that, and for callers who want a sweep's
+	// memory back.
+	NoSnapshot bool
 }
 
 // Baseline returns the paper's baseline system.
@@ -464,6 +474,74 @@ func BuildConfig(p Profile, sys System) (SSDConfig, Profile, error) {
 	return cfg, p, nil
 }
 
+// DefaultSnapshots is the process-wide device-state snapshot store behind
+// RunWorkload and RunArrayWorkload: the aged pre-measurement state of every
+// (profile, device-shape) combination is captured once and restored in
+// O(state) by every later run sharing it, so a sweep pays for prefill, the
+// aging preamble, and warmup once per profile instead of once per system
+// variant. The in-memory tier is always on (bounded, FIFO-evicted); attach
+// a persistent on-disk tier with SetSnapshotDir. Restored runs are
+// byte-identical to replayed ones, and corrupt or version-skewed snapshots
+// fall back to replay silently.
+var DefaultSnapshots = snapshot.NewStore(0)
+
+// SetSnapshotDir attaches a persistent on-disk tier to DefaultSnapshots
+// (idasim -snapshot-dir, idaserver -snapshot-dir): captured states are
+// written there, content-addressed and checksummed, and survive the
+// process. An empty dir detaches the tier.
+func SetSnapshotDir(dir string) error { return DefaultSnapshots.SetDir(dir) }
+
+// snapshotKeyData is everything the aged pre-measurement device state is a
+// function of. Deliberately absent: the coding scheme, IDA knobs, error
+// rate, scheduler, timing, ECC, and telemetry — none of them influence the
+// zero-time phases (refresh and IDA only engage in the timed phase, the
+// engine never runs before the boundary, and the code-dependent power
+// accumulators are wiped by the post-boundary stats reset) — so the
+// baseline, every IDA error-rate point, and every coding/scheduler variant
+// of one profile share a single snapshot.
+type snapshotKeyData struct {
+	Codec           uint32
+	Profile         Profile
+	Geometry        Geometry
+	Order           flash.OrderKind
+	Allocation      string
+	GCFreeBlocks    int
+	RefreshPeriod   time.Duration
+	RefreshStagger  bool
+	MaxOpenBlockAge time.Duration
+	FTLSeed         int64
+	Seed            int64
+	Faults          *FaultScenario
+	Warmup          float64
+	SkipPrefill     bool
+}
+
+// snapshotKey builds the cache key for one device's aged state. It fails
+// soft like the trace-cache key: an unencodable scenario yields "" and the
+// run simply replays uncached.
+func snapshotKey(p Profile, cfg SSDConfig, opts RunOptions) string {
+	b, err := json.Marshal(snapshotKeyData{
+		Codec:           snapshot.CodecVersion,
+		Profile:         p,
+		Geometry:        cfg.Geometry,
+		Order:           cfg.FTL.Order,
+		Allocation:      cfg.FTL.Allocation,
+		GCFreeBlocks:    cfg.FTL.GCFreeBlocks,
+		RefreshPeriod:   cfg.FTL.RefreshPeriod,
+		RefreshStagger:  cfg.FTL.RefreshStagger,
+		MaxOpenBlockAge: cfg.FTL.MaxOpenBlockAge,
+		FTLSeed:         cfg.FTL.Seed,
+		Seed:            cfg.Seed,
+		Faults:          cfg.Faults,
+		Warmup:          opts.WarmupFraction,
+		SkipPrefill:     opts.SkipPrefill,
+	})
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}
+
 // RunWorkload generates the profile's trace and runs it on a device — or,
 // when sys.Devices > 1, a striped array of devices — built for the system
 // description, returning the measurements. Two calls with identical
@@ -539,7 +617,16 @@ func RunArrayWorkloadContext(ctx context.Context, p Profile, sys System) (ArrayR
 	if err != nil {
 		return ArrayResults{}, err
 	}
-	return arr.RunContext(ctx, tr, RunOptions{Preamble: pre})
+	opts := RunOptions{Preamble: pre}
+	if !sys.NoSnapshot {
+		// The base key covers the full profile (the trace every member's
+		// split derives from) and the member template config; the array
+		// layer suffixes each member's index and the stripe topology.
+		if key := snapshotKey(np, cfg, opts); key != "" {
+			opts.Snapshots, opts.SnapshotKey = DefaultSnapshots, key
+		}
+	}
+	return arr.RunContext(ctx, tr, opts)
 }
 
 func runWorkload(ctx context.Context, p Profile, sys System) (Results, *SSD, error) {
@@ -559,7 +646,13 @@ func runWorkload(ctx context.Context, p Profile, sys System) (Results, *SSD, err
 	if err != nil {
 		return Results{}, nil, err
 	}
-	res, err := dev.RunContext(ctx, tr, RunOptions{Preamble: pre})
+	opts := RunOptions{Preamble: pre}
+	if !sys.NoSnapshot {
+		if key := snapshotKey(p, cfg, opts); key != "" {
+			opts.Snapshots, opts.SnapshotKey = DefaultSnapshots, key
+		}
+	}
+	res, err := dev.RunContext(ctx, tr, opts)
 	return res, dev, err
 }
 

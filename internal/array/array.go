@@ -228,6 +228,13 @@ func (a *Array) RunContext(ctx context.Context, tr *workload.Trace, opts ssd.Run
 			if pres != nil {
 				o.Preamble = pres[d]
 			}
+			if o.SnapshotKey != "" {
+				// Each member ages differently: it replays its own split
+				// of the trace with its own decorrelated seeds, so the
+				// aged state is per (member, topology), not per profile.
+				o.SnapshotKey = fmt.Sprintf("%s|array:dev=%d/%d,stripe=%d,parity=%t",
+					opts.SnapshotKey, d, a.cfg.Devices, a.cfg.StripeKB, a.cfg.Parity)
+			}
 			res, err := a.devs[d].RunContext(runCtx, subs[d], o)
 			per[d] = res // partial stats survive a failed member
 			if err != nil {

@@ -321,7 +321,10 @@ type Injector struct {
 	sc     *Scenario
 	device int
 	retry  Retry
-	rng    *rand.Rand
+	// src counts the source-level draws behind rng so device-state
+	// snapshots can record the stream position and SkipTo can replay it.
+	src *sim.CountedSource
+	rng *rand.Rand
 }
 
 // NewInjector instantiates the scenario for one device. seed is the
@@ -332,12 +335,45 @@ func NewInjector(sc *Scenario, seed int64, device int) *Injector {
 	if sc == nil {
 		return nil
 	}
+	src := sim.NewCountedSource(seed ^ sc.Seed ^ 0x4641554C)
 	return &Injector{
 		sc:     sc,
 		device: device,
 		retry:  sc.Retry.withDefaults(),
-		rng:    rand.New(rand.NewSource(seed ^ sc.Seed ^ 0x4641554C)),
+		src:    src,
+		rng:    rand.New(src),
 	}
+}
+
+// Draws returns the number of random draws the injector has consumed — its
+// position in the seeded fault stream. Zero for a nil injector. Device-state
+// snapshots record it so a restored run's fault draws continue exactly where
+// the captured run's would have.
+func (i *Injector) Draws() uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.src.Draws()
+}
+
+// SkipTo fast-forwards the injector's random stream to the given draw
+// position, as recorded by Draws on the run being restored. The stream can
+// only move forward; asking a nil injector to reach a non-zero position (or
+// any injector to rewind) reports an error, which snapshot restores treat as
+// a mis-keyed snapshot and fail soft to replay.
+func (i *Injector) SkipTo(draws uint64) error {
+	if i == nil {
+		if draws != 0 {
+			return fmt.Errorf("faults: snapshot recorded %d fault draws but the run has no scenario", draws)
+		}
+		return nil
+	}
+	cur := i.src.Draws()
+	if cur > draws {
+		return fmt.Errorf("faults: injector already consumed %d draws, cannot rewind to %d", cur, draws)
+	}
+	i.src.Skip(draws - cur)
+	return nil
 }
 
 // Scenario returns the underlying scenario (nil for a nil injector).

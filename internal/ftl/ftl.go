@@ -205,6 +205,9 @@ type FTL struct {
 	cells *flash.CellModel
 	order *flash.ProgramOrder
 	rng   *rand.Rand
+	// rngSrc is rng's underlying source; its draw count pins the rng's
+	// position in the seeded stream so Snapshot/Restore can serialize it.
+	rngSrc *sim.CountedSource
 
 	l2p    *l2pTable
 	planes []*plane
@@ -233,13 +236,15 @@ func New(opts Options) (*FTL, error) {
 		return nil, err
 	}
 	g := opts.Geometry
+	src := sim.NewCountedSource(opts.Seed ^ rngSeedMask)
 	f := &FTL{
-		opts:  opts,
-		geom:  g,
-		cells: flash.NewCellModel(opts.Code),
-		order: flash.NewProgramOrder(g.WordlinesPerBlock, g.BitsPerCell, opts.Order),
-		rng:   rand.New(rand.NewSource(opts.Seed ^ 0x49444146)),
-		l2p:   newL2P(g.TotalPages()),
+		opts:   opts,
+		geom:   g,
+		cells:  flash.NewCellModel(opts.Code),
+		order:  flash.NewProgramOrder(g.WordlinesPerBlock, g.BitsPerCell, opts.Order),
+		rng:    rand.New(src),
+		rngSrc: src,
+		l2p:    newL2P(g.TotalPages()),
 	}
 	f.planes = make([]*plane, g.Planes())
 	for i := range f.planes {

@@ -216,6 +216,9 @@ type SystemSpec struct {
 	Devices   int    `json:"devices,omitempty"`
 	StripeKB  int    `json:"stripe_kb,omitempty"`
 	Parity    bool   `json:"parity,omitempty"`
+	// NoSnapshot forces the run to replay its aging preamble instead of
+	// restoring it from the process-wide snapshot store.
+	NoSnapshot bool `json:"no_snapshot,omitempty"`
 }
 
 // RunResponse is the POST /v1/run success body.
@@ -336,6 +339,7 @@ func (s *Server) parse(r *http.Request) (idaflash.Profile, idaflash.System, time
 	sys.Devices = req.System.Devices
 	sys.StripeKB = req.System.StripeKB
 	sys.Parity = req.System.Parity
+	sys.NoSnapshot = req.System.NoSnapshot
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMs > 0 {
 		timeout = time.Duration(req.TimeoutMs) * time.Millisecond

@@ -1,0 +1,60 @@
+package sim
+
+import "math/rand"
+
+// CountedSource is a math/rand Source64 that counts how many source-level
+// draws have been consumed. Every math/rand.Rand method — Int63, Uint64,
+// Float64, the rejection-sampling Int63n, all of them — funnels through the
+// source one step at a time, so the count is an exact position in the
+// underlying stream regardless of which Rand methods consumed it. That makes
+// the position serializable: a snapshot records Draws(), and a restore
+// rebuilds the source from the same seed and Skip()s forward to the recorded
+// position, after which the stream continues bit-for-bit identically to the
+// run that was snapshotted. (math/rand exposes no way to capture its internal
+// state directly; counting draws is the deterministic equivalent.)
+//
+// Wrapping changes nothing about the sequence: all methods delegate to the
+// standard source, so code that switches from rand.NewSource to
+// NewCountedSource reproduces its previous streams exactly.
+type CountedSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+// NewCountedSource returns a counting source seeded like rand.NewSource.
+func NewCountedSource(seed int64) *CountedSource {
+	// rand.NewSource's concrete type has implemented Source64 since Go 1.8;
+	// the assertion cannot fail on any supported toolchain.
+	return &CountedSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 draws one value, counting it.
+func (c *CountedSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+// Uint64 draws one value, counting it. The standard source advances by the
+// same one step for Uint64 as for Int63 (Int63 is Uint64 masked), so Skip
+// can replay any mix of draws with Uint64 alone.
+func (c *CountedSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+// Seed reseeds the underlying source and resets the draw count.
+func (c *CountedSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
+}
+
+// Draws returns the number of source-level draws consumed so far.
+func (c *CountedSource) Draws() uint64 { return c.n }
+
+// Skip advances the stream by n draws, discarding the values.
+func (c *CountedSource) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.Uint64()
+	}
+	c.n += n
+}

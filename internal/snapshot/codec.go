@@ -1,0 +1,545 @@
+// Package snapshot serializes and restores aged device state so experiment
+// sweeps pay for the aging preamble once per profile instead of once per
+// (profile, system) point. A DeviceState captures everything the
+// pre-measurement phases of ssd.Run produce — the FTL's L2P table, block
+// populations, free lists, wear counters, wordline ages, GC/refresh
+// bookkeeping, the accumulated stats, and the positions of the random
+// streams — behind a versioned, checksummed binary codec and a
+// content-addressed Store with an in-memory tier and an optional on-disk
+// tier. Corruption, truncation, and version skew all fail soft: a bad
+// snapshot is a cache miss, never a failed run.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"math"
+	"sort"
+
+	"idaflash/internal/coding"
+	"idaflash/internal/flash"
+	"idaflash/internal/ftl"
+	"idaflash/internal/sim"
+)
+
+// CodecVersion is the on-disk format version. Bump it whenever the payload
+// layout or the meaning of any captured field changes; the Store treats a
+// version mismatch as a miss, and callers fold the version into their cache
+// keys so stale fixture directories invalidate themselves.
+const CodecVersion = 1
+
+// magic brands snapshot files so arbitrary bytes are rejected before any
+// length field is trusted.
+var magic = [8]byte{'I', 'D', 'A', 'S', 'N', 'A', 'P', 0}
+
+// Typed decode failures. All of them mean "treat as a cache miss"; the
+// distinctions exist for logs and tests.
+var (
+	// ErrNotSnapshot means the bytes do not start with the snapshot magic.
+	ErrNotSnapshot = errors.New("snapshot: not a snapshot file")
+	// ErrVersion means the file was written by a different codec version.
+	ErrVersion = errors.New("snapshot: codec version mismatch")
+	// ErrChecksum means the payload failed its integrity checksum.
+	ErrChecksum = errors.New("snapshot: checksum mismatch")
+	// ErrCorrupt means the payload was structurally invalid (truncated,
+	// impossible lengths) despite passing or not reaching the checksum.
+	ErrCorrupt = errors.New("snapshot: corrupt payload")
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// DeviceState is one device's aged pre-measurement state: the FTL state at
+// the snapshot boundary plus the fault injector's random-stream position
+// (the only non-FTL state the zero-time phases consume).
+type DeviceState struct {
+	FTL           *ftl.State
+	InjectorDraws uint64
+}
+
+// Encode serializes the state: magic, version, payload length, payload,
+// CRC64-ECMA of the payload. The encoding is deterministic (sparse maps are
+// written in sorted key order), so identical states produce identical bytes.
+func Encode(st *DeviceState) ([]byte, error) {
+	if st == nil || st.FTL == nil {
+		return nil, fmt.Errorf("snapshot: encode of nil state")
+	}
+	var e encoder
+	e.ftlState(st.FTL)
+	e.u64(st.InjectorDraws)
+
+	out := make([]byte, 0, len(magic)+4+8+len(e.buf)+8)
+	out = append(out, magic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, CodecVersion)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(e.buf)))
+	out = append(out, e.buf...)
+	out = binary.LittleEndian.AppendUint64(out, crc64.Checksum(e.buf, crcTable))
+	return out, nil
+}
+
+// Decode parses bytes produced by Encode. It never panics on arbitrary
+// input: every length is validated against the remaining payload before any
+// allocation, and the checksum is verified before the payload is parsed.
+func Decode(b []byte) (*DeviceState, error) {
+	if len(b) < len(magic)+4+8+8 {
+		if len(b) < len(magic) || string(b[:len(magic)]) != string(magic[:]) {
+			return nil, ErrNotSnapshot
+		}
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if string(b[:len(magic)]) != string(magic[:]) {
+		return nil, ErrNotSnapshot
+	}
+	off := len(magic)
+	version := binary.LittleEndian.Uint32(b[off:])
+	off += 4
+	if version != CodecVersion {
+		return nil, fmt.Errorf("%w: file has v%d, codec is v%d", ErrVersion, version, CodecVersion)
+	}
+	plen := binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	if plen != uint64(len(b)-off-8) {
+		return nil, fmt.Errorf("%w: payload length %d does not match file size", ErrCorrupt, plen)
+	}
+	payload := b[off : off+int(plen)]
+	sum := binary.LittleEndian.Uint64(b[off+int(plen):])
+	if crc64.Checksum(payload, crcTable) != sum {
+		return nil, ErrChecksum
+	}
+	d := decoder{b: payload}
+	st := &DeviceState{FTL: d.ftlState()}
+	st.InjectorDraws = d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(d.b)-d.off)
+	}
+	return st, nil
+}
+
+// encoder appends fixed-width little-endian fields to a growing buffer.
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *encoder) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *encoder) geometry(g flash.Geometry) {
+	e.i64(int64(g.Channels))
+	e.i64(int64(g.ChipsPerChannel))
+	e.i64(int64(g.DiesPerChip))
+	e.i64(int64(g.PlanesPerDie))
+	e.i64(int64(g.BlocksPerPlane))
+	e.i64(int64(g.WordlinesPerBlock))
+	e.i64(int64(g.PageSizeBytes))
+	e.i64(int64(g.BitsPerCell))
+}
+
+func (e *encoder) pageAddr(a flash.PageAddr) {
+	e.i64(int64(a.Plane))
+	e.i64(int64(a.Block))
+	e.i64(int64(a.Page))
+}
+
+func (e *encoder) stats(s ftl.Stats) {
+	e.u64(s.HostReads)
+	e.u64(s.HostWrites)
+	e.u64(s.Invalidations)
+	e.u64(s.Erases)
+	e.u64(uint64(len(s.ReadsByClass)))
+	for _, v := range s.ReadsByClass {
+		e.u64(v)
+	}
+	e.u64(uint64(len(s.ReadsBySenses)))
+	for _, v := range s.ReadsBySenses {
+		e.u64(v)
+	}
+	e.u64(s.ReadsFromIDA)
+	e.u64(s.GCJobs)
+	e.u64(s.GCMoves)
+	e.u64(s.GCIDAVictims)
+	e.u64(s.Refreshes)
+	e.u64(s.RefreshValidPages)
+	e.u64(s.RefreshMoves)
+	e.u64(s.IDARefreshes)
+	e.u64(s.IDAAdjustedWLs)
+	e.u64(s.IDAVerifyReads)
+	e.u64(s.IDACorruptedWrites)
+	e.u64(s.IDAKeptPages)
+	e.f64(s.ProgramPower)
+	e.f64(s.ProgrammedCells)
+	e.u64(s.ProgramFailures)
+	e.u64(s.EraseFailures)
+	e.u64(s.RetiredBlocks)
+}
+
+func (e *encoder) ftlState(st *ftl.State) {
+	e.geometry(st.Geometry)
+
+	e.boolean(st.DenseL2P != nil)
+	if st.DenseL2P != nil {
+		e.u64(uint64(len(st.DenseL2P)))
+		for _, v := range st.DenseL2P {
+			e.u64(v)
+		}
+	}
+	keys := make([]int64, 0, len(st.SparseL2P))
+	for k := range st.SparseL2P {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	e.u64(uint64(len(keys)))
+	for _, k := range keys {
+		e.i64(k)
+		e.u64(st.SparseL2P[k])
+	}
+	e.i64(int64(st.L2PCount))
+	e.i64(int64(st.AllocCursor))
+
+	e.u64(uint64(len(st.Planes)))
+	for _, ps := range st.Planes {
+		e.i64(int64(ps.Active))
+		e.u64(uint64(len(ps.Free)))
+		for _, idx := range ps.Free {
+			e.i64(int64(idx))
+		}
+		e.u64(uint64(len(ps.Blocks)))
+		for _, bs := range ps.Blocks {
+			e.boolean(bs.Present)
+			if !bs.Present {
+				continue
+			}
+			e.i64(int64(bs.EraseCount))
+			e.i64(int64(bs.OpenedAt))
+			e.i64(int64(bs.ProgrammedAt))
+			e.i64(int64(bs.NextStep))
+			e.i64(int64(bs.ValidCount))
+			var flags uint8
+			if bs.IDA {
+				flags |= 1
+			}
+			if bs.Refreshed {
+				flags |= 2
+			}
+			if bs.Bad {
+				flags |= 4
+			}
+			if bs.Retired {
+				flags |= 8
+			}
+			e.u8(flags)
+			e.u64(uint64(len(bs.Valid)))
+			e.bitset(bs.Valid)
+			e.u64(uint64(len(bs.RMap)))
+			for _, lpn := range bs.RMap {
+				e.i64(int64(lpn))
+			}
+			e.u64(uint64(len(bs.WLKeep)))
+			for _, m := range bs.WLKeep {
+				e.u32(uint32(m))
+			}
+		}
+	}
+
+	e.u64(uint64(len(st.PendingGC)))
+	for _, job := range st.PendingGC {
+		e.i64(int64(job.Victim.Plane))
+		e.i64(int64(job.Victim.Block))
+		e.boolean(job.VictimWasIDA)
+		e.u64(uint64(len(job.Moves)))
+		for _, m := range job.Moves {
+			e.pageAddr(m.From)
+			e.i64(int64(m.FromSenses))
+			e.pageAddr(m.To)
+			e.i64(int64(m.LPN))
+			e.i64(int64(m.FailedPrograms))
+		}
+	}
+
+	e.boolean(st.RefreshingActive)
+	e.i64(int64(st.Refreshing.Plane))
+	e.i64(int64(st.Refreshing.Block))
+	e.stats(st.Stats)
+	e.u64(st.RNGDraws)
+}
+
+// bitset packs a []bool eight entries per byte.
+func (e *encoder) bitset(bits []bool) {
+	var cur uint8
+	for i, b := range bits {
+		if b {
+			cur |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			e.u8(cur)
+			cur = 0
+		}
+	}
+	if len(bits)%8 != 0 {
+		e.u8(cur)
+	}
+}
+
+// decoder reads the encoder's fields back, tracking the first error and
+// refusing any length that cannot fit in the remaining payload. After an
+// error every read returns a zero value, so call sites need no per-field
+// checks; Decode inspects d.err once at the end.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+}
+
+// need reserves n bytes, failing the decode if they are not there.
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || len(d.b)-d.off < n {
+		d.fail("truncated at offset %d (need %d bytes)", d.off, n)
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) i64() int64    { return int64(d.u64()) }
+func (d *decoder) f64() float64  { return math.Float64frombits(d.u64()) }
+func (d *decoder) boolean() bool { return d.u8() != 0 }
+func (d *decoder) intField() int { return int(d.i64()) }
+
+// count reads a length prefix for elements of at least elemSize bytes and
+// validates it against the remaining payload, so a corrupt length cannot
+// trigger a giant allocation.
+func (d *decoder) count(elemSize int) int {
+	n := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.b)-d.off)/uint64(elemSize) {
+		d.fail("length %d exceeds remaining payload", n)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) geometry() flash.Geometry {
+	return flash.Geometry{
+		Channels:          d.intField(),
+		ChipsPerChannel:   d.intField(),
+		DiesPerChip:       d.intField(),
+		PlanesPerDie:      d.intField(),
+		BlocksPerPlane:    d.intField(),
+		WordlinesPerBlock: d.intField(),
+		PageSizeBytes:     d.intField(),
+		BitsPerCell:       d.intField(),
+	}
+}
+
+func (d *decoder) pageAddr() flash.PageAddr {
+	var a flash.PageAddr
+	a.Plane = flash.PlaneID(d.i64())
+	a.Block = d.intField()
+	a.Page = d.intField()
+	return a
+}
+
+func (d *decoder) stats() ftl.Stats {
+	var s ftl.Stats
+	s.HostReads = d.u64()
+	s.HostWrites = d.u64()
+	s.Invalidations = d.u64()
+	s.Erases = d.u64()
+	if n := d.count(8); n != len(s.ReadsByClass) {
+		d.fail("ReadsByClass has %d buckets, want %d", n, len(s.ReadsByClass))
+	} else {
+		for i := range s.ReadsByClass {
+			s.ReadsByClass[i] = d.u64()
+		}
+	}
+	if n := d.count(8); n != len(s.ReadsBySenses) {
+		d.fail("ReadsBySenses has %d buckets, want %d", n, len(s.ReadsBySenses))
+	} else {
+		for i := range s.ReadsBySenses {
+			s.ReadsBySenses[i] = d.u64()
+		}
+	}
+	s.ReadsFromIDA = d.u64()
+	s.GCJobs = d.u64()
+	s.GCMoves = d.u64()
+	s.GCIDAVictims = d.u64()
+	s.Refreshes = d.u64()
+	s.RefreshValidPages = d.u64()
+	s.RefreshMoves = d.u64()
+	s.IDARefreshes = d.u64()
+	s.IDAAdjustedWLs = d.u64()
+	s.IDAVerifyReads = d.u64()
+	s.IDACorruptedWrites = d.u64()
+	s.IDAKeptPages = d.u64()
+	s.ProgramPower = d.f64()
+	s.ProgrammedCells = d.f64()
+	s.ProgramFailures = d.u64()
+	s.EraseFailures = d.u64()
+	s.RetiredBlocks = d.u64()
+	return s
+}
+
+func (d *decoder) ftlState() *ftl.State {
+	st := &ftl.State{}
+	st.Geometry = d.geometry()
+
+	if d.boolean() {
+		n := d.count(8)
+		st.DenseL2P = make([]uint64, n)
+		for i := range st.DenseL2P {
+			st.DenseL2P[i] = d.u64()
+		}
+	}
+	if n := d.count(16); n > 0 {
+		st.SparseL2P = make(map[int64]uint64, n)
+		for i := 0; i < n; i++ {
+			k := d.i64()
+			st.SparseL2P[k] = d.u64()
+		}
+		if len(st.SparseL2P) != n {
+			d.fail("sparse L2P repeats keys")
+		}
+	}
+	st.L2PCount = d.intField()
+	st.AllocCursor = d.intField()
+
+	planes := d.count(24) // active + free length + blocks length minimum
+	st.Planes = make([]ftl.PlaneState, 0, planes)
+	for pl := 0; pl < planes && d.err == nil; pl++ {
+		var ps ftl.PlaneState
+		ps.Active = d.intField()
+		// Zero-length slices decode as nil so a decoded state is
+		// byte-for-byte re-encodable and deep-equal to its source.
+		if nFree := d.count(8); nFree > 0 {
+			ps.Free = make([]int, nFree)
+			for i := range ps.Free {
+				ps.Free[i] = d.intField()
+			}
+		}
+		nBlocks := d.count(1)
+		ps.Blocks = make([]ftl.BlockState, 0, nBlocks)
+		for blk := 0; blk < nBlocks && d.err == nil; blk++ {
+			var bs ftl.BlockState
+			bs.Present = d.boolean()
+			if bs.Present {
+				bs.EraseCount = d.intField()
+				bs.OpenedAt = sim.Time(d.i64())
+				bs.ProgrammedAt = sim.Time(d.i64())
+				bs.NextStep = d.intField()
+				bs.ValidCount = d.intField()
+				flags := d.u8()
+				bs.IDA = flags&1 != 0
+				bs.Refreshed = flags&2 != 0
+				bs.Bad = flags&4 != 0
+				bs.Retired = flags&8 != 0
+				nValid := d.count(1)
+				bs.Valid = d.bitset(nValid)
+				nRMap := d.count(8)
+				bs.RMap = make([]ftl.LPN, nRMap)
+				for i := range bs.RMap {
+					bs.RMap[i] = ftl.LPN(d.i64())
+				}
+				nKeep := d.count(4)
+				bs.WLKeep = make([]coding.ValidMask, nKeep)
+				for i := range bs.WLKeep {
+					bs.WLKeep[i] = coding.ValidMask(d.u32())
+				}
+			}
+			ps.Blocks = append(ps.Blocks, bs)
+		}
+		st.Planes = append(st.Planes, ps)
+	}
+
+	nJobs := d.count(25)
+	if nJobs > 0 {
+		st.PendingGC = make([]ftl.GCJob, 0, nJobs)
+	}
+	for j := 0; j < nJobs && d.err == nil; j++ {
+		var job ftl.GCJob
+		job.Victim.Plane = flash.PlaneID(d.i64())
+		job.Victim.Block = d.intField()
+		job.VictimWasIDA = d.boolean()
+		if nMoves := d.count(72); nMoves > 0 {
+			job.Moves = make([]ftl.MoveOp, nMoves)
+			for i := range job.Moves {
+				job.Moves[i].From = d.pageAddr()
+				job.Moves[i].FromSenses = d.intField()
+				job.Moves[i].To = d.pageAddr()
+				job.Moves[i].LPN = ftl.LPN(d.i64())
+				job.Moves[i].FailedPrograms = d.intField()
+			}
+		}
+		st.PendingGC = append(st.PendingGC, job)
+	}
+
+	st.RefreshingActive = d.boolean()
+	st.Refreshing.Plane = flash.PlaneID(d.i64())
+	st.Refreshing.Block = d.intField()
+	st.Stats = d.stats()
+	st.RNGDraws = d.u64()
+	return st
+}
+
+// bitset unpacks n bools written by encoder.bitset.
+func (d *decoder) bitset(n int) []bool {
+	bytes := (n + 7) / 8
+	if !d.need(bytes) {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = d.b[d.off+i/8]&(1<<(i%8)) != 0
+	}
+	d.off += bytes
+	return out
+}

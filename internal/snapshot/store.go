@@ -1,0 +1,249 @@
+package snapshot
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// defaultStoreLimit bounds the in-memory tier. A captured state is a few
+// hundred KB for the experiment-scale devices; the paper's sweeps touch ~20
+// distinct profiles (a handful of array variants each), so 64 keeps every
+// realistic sweep resident.
+const defaultStoreLimit = 64
+
+// Store caches aged device states by an opaque caller-built key (the
+// facade's normalized-profile + device-shape key). It has two tiers: a
+// bounded in-memory map with FIFO eviction, always on, and an optional
+// content-addressed on-disk directory (SetDir) whose files survive the
+// process — CI caches that directory across workflow runs.
+//
+// Get implements singleflight claims: the first caller of a missing key
+// receives a publish callback and computes the state (by running the aging
+// phases); concurrent callers of the same key block until it publishes.
+// Publishing nil abandons the claim (the compute failed or was cancelled)
+// and wakes one waiter to claim it afresh. Every failure mode — corrupt
+// file, version skew, cancelled compute — degrades to a miss, never an
+// error for the run.
+type Store struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	order   []string
+	limit   int
+	dir     string
+
+	// Logf, when set, receives fail-soft diagnostics (corrupt files,
+	// rejected restores). The default discards them.
+	Logf func(format string, args ...any)
+}
+
+// entry is one key's memoized state. ready closes exactly once, after which
+// st is immutable: non-nil for a published state, nil for an abandoned one.
+type entry struct {
+	ready chan struct{}
+	once  sync.Once
+	st    *DeviceState
+}
+
+// NewStore builds a store holding at most limit states in memory (<= 0 uses
+// the default of 64).
+func NewStore(limit int) *Store {
+	if limit <= 0 {
+		limit = defaultStoreLimit
+	}
+	return &Store{entries: make(map[string]*entry), limit: limit}
+}
+
+// SetDir attaches (or, with an empty dir, detaches) the on-disk tier,
+// creating the directory if needed. Files are content-addressed by the
+// SHA-256 of the key, so one directory serves any mix of profiles and
+// codec versions without collisions.
+func (s *Store) SetDir(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+	}
+	s.mu.Lock()
+	s.dir = dir
+	s.mu.Unlock()
+	return nil
+}
+
+// Dir returns the on-disk tier's directory ("" when detached).
+func (s *Store) Dir() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dir
+}
+
+// Len returns the number of in-memory entries (tests and diagnostics).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// logf dispatches to Logf when set.
+func (s *Store) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Get resolves a key. On a hit (memory or disk) it returns the state and a
+// nil publish. On a miss it claims the key and returns a nil state plus a
+// publish callback the caller MUST invoke exactly once: with the computed
+// state to fill the cache, or with nil to abandon the claim (use
+// `defer publish(nil)` semantics around error paths — publish is idempotent
+// against a second call only via its internal once, so call it once).
+// Concurrent Gets of a claimed key wait for the publish, honoring ctx.
+func (s *Store) Get(ctx context.Context, key string) (st *DeviceState, publish func(*DeviceState), err error) {
+	for {
+		s.mu.Lock()
+		if e, ok := s.entries[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-e.ready:
+				if e.st != nil {
+					return e.st, nil, nil
+				}
+				// Abandoned compute: loop to claim or wait afresh.
+				continue
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			}
+		}
+		e := &entry{ready: make(chan struct{})}
+		s.entries[key] = e
+		s.order = append(s.order, key)
+		for len(s.order) > s.limit {
+			// FIFO eviction. Waiters on an evicted in-flight entry still
+			// hold its pointer and resolve when it publishes.
+			delete(s.entries, s.order[0])
+			s.order = s.order[1:]
+		}
+		dir := s.dir
+		s.mu.Unlock()
+
+		if cached := s.loadDisk(dir, key); cached != nil {
+			e.publish(cached)
+			return cached, nil, nil
+		}
+		return nil, func(st *DeviceState) {
+			if st != nil {
+				e.publish(st)
+				s.saveDisk(key, st)
+				return
+			}
+			// Abandon: drop the claim so the next caller recomputes, then
+			// wake the waiters to do exactly that.
+			s.mu.Lock()
+			if s.entries[key] == e {
+				delete(s.entries, key)
+				for i, k := range s.order {
+					if k == key {
+						s.order = append(s.order[:i], s.order[i+1:]...)
+						break
+					}
+				}
+			}
+			s.mu.Unlock()
+			e.publish(nil)
+		}, nil
+	}
+}
+
+// Drop forgets a key's in-memory entry (a restore rejected its state). The
+// on-disk file, if any, is removed too so the next process does not reload
+// the same bad state.
+func (s *Store) Drop(key string) {
+	s.mu.Lock()
+	if _, ok := s.entries[key]; ok {
+		delete(s.entries, key)
+		for i, k := range s.order {
+			if k == key {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	dir := s.dir
+	s.mu.Unlock()
+	if dir != "" {
+		_ = os.Remove(s.fileFor(dir, key))
+	}
+}
+
+// publish resolves the entry exactly once.
+func (e *entry) publish(st *DeviceState) {
+	e.once.Do(func() {
+		e.st = st
+		close(e.ready)
+	})
+}
+
+// fileFor content-addresses a key inside dir.
+func (s *Store) fileFor(dir, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(dir, hex.EncodeToString(sum[:])+".snap")
+}
+
+// loadDisk reads and decodes a key's file, failing soft: any problem —
+// missing file, truncation, bad checksum, version skew — is a miss, and a
+// structurally bad file is deleted so it cannot cost a decode on every run.
+func (s *Store) loadDisk(dir, key string) *DeviceState {
+	if dir == "" {
+		return nil
+	}
+	path := s.fileFor(dir, key)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	st, err := Decode(b)
+	if err != nil {
+		s.logf("snapshot: discarding %s: %v", path, err)
+		_ = os.Remove(path)
+		return nil
+	}
+	return st
+}
+
+// saveDisk encodes and writes a state atomically (temp file + rename), so a
+// crashed or concurrent writer can never leave a torn file for loadDisk to
+// trip over. Errors are logged and swallowed: persistence is an optimization.
+func (s *Store) saveDisk(key string, st *DeviceState) {
+	s.mu.Lock()
+	dir := s.dir
+	s.mu.Unlock()
+	if dir == "" {
+		return
+	}
+	b, err := Encode(st)
+	if err != nil {
+		s.logf("snapshot: encoding %q: %v", key, err)
+		return
+	}
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		s.logf("snapshot: %v", err)
+		return
+	}
+	if _, err := tmp.Write(b); err == nil {
+		err = tmp.Close()
+		if err == nil {
+			err = os.Rename(tmp.Name(), s.fileFor(dir, key))
+		}
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		s.logf("snapshot: writing %q: %v", key, err)
+		_ = os.Remove(tmp.Name())
+	}
+}

@@ -1,0 +1,240 @@
+package snapshot
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustMiss(t *testing.T, s *Store, key string) func(*DeviceState) {
+	t.Helper()
+	st, publish, err := s.Get(context.Background(), key)
+	if err != nil {
+		t.Fatalf("Get(%q): %v", key, err)
+	}
+	if st != nil {
+		t.Fatalf("Get(%q) hit, want miss", key)
+	}
+	if publish == nil {
+		t.Fatalf("Get(%q) miss returned no claim", key)
+	}
+	return publish
+}
+
+func mustHit(t *testing.T, s *Store, key string) *DeviceState {
+	t.Helper()
+	st, publish, err := s.Get(context.Background(), key)
+	if err != nil {
+		t.Fatalf("Get(%q): %v", key, err)
+	}
+	if st == nil || publish != nil {
+		t.Fatalf("Get(%q) missed, want hit", key)
+	}
+	return st
+}
+
+func TestStoreMemoryTier(t *testing.T) {
+	s := NewStore(0)
+	want := randState(rand.New(rand.NewSource(1)))
+	mustMiss(t, s, "k")(want)
+	if got := mustHit(t, s, "k"); got != want {
+		t.Fatal("memory tier returned a different pointer than published")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	s.Drop("k")
+	if s.Len() != 0 {
+		t.Fatalf("Len after Drop = %d, want 0", s.Len())
+	}
+	mustMiss(t, s, "k")(nil) // abandon the fresh claim
+}
+
+func TestStoreFIFOEviction(t *testing.T) {
+	s := NewStore(2)
+	mustMiss(t, s, "a")(randState(rand.New(rand.NewSource(1))))
+	mustMiss(t, s, "b")(randState(rand.New(rand.NewSource(2))))
+	mustMiss(t, s, "c")(randState(rand.New(rand.NewSource(3))))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want limit 2", s.Len())
+	}
+	// "a" is evicted; a new Get claims it afresh.
+	mustMiss(t, s, "a")(nil)
+	mustHit(t, s, "c")
+}
+
+func TestStoreDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := randState(rand.New(rand.NewSource(2)))
+
+	s1 := NewStore(0)
+	if err := s1.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	mustMiss(t, s1, "k")(want)
+
+	// A fresh store (fresh process) over the same directory hits via disk.
+	s2 := NewStore(0)
+	if err := s2.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got := mustHit(t, s2, "k")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("disk round trip altered the state")
+	}
+	// And the state is now memory-resident: deleting the file does not
+	// un-cache it.
+	if err := os.Remove(s2.fileFor(dir, "k")); err != nil {
+		t.Fatal(err)
+	}
+	mustHit(t, s2, "k")
+}
+
+func TestStoreCorruptDiskFileFailsSoft(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(0)
+	if err := s.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	var logged int
+	s.Logf = func(string, ...any) { logged++ }
+
+	path := s.fileFor(dir, "k")
+	if err := os.WriteFile(path, []byte("IDASNAP\x00garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	publish := mustMiss(t, s, "k") // corrupt file is a miss, not an error
+	if logged == 0 {
+		t.Error("corrupt file was not logged")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt file was not deleted")
+	}
+	publish(randState(rand.New(rand.NewSource(3))))
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("published state was not persisted: %v", err)
+	}
+}
+
+func TestStoreDropRemovesDiskFile(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(0)
+	if err := s.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	mustMiss(t, s, "k")(randState(rand.New(rand.NewSource(4))))
+	path := s.fileFor(dir, "k")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("state not persisted: %v", err)
+	}
+	s.Drop("k")
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("Drop left the disk file behind")
+	}
+	mustMiss(t, s, "k")(nil)
+}
+
+func TestStoreSingleflight(t *testing.T) {
+	s := NewStore(0)
+	publish := mustMiss(t, s, "k")
+
+	// Concurrent getters of the claimed key block until the publish.
+	const waiters = 8
+	results := make(chan *DeviceState, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, pub, err := s.Get(context.Background(), "k")
+			if err != nil || pub != nil {
+				t.Errorf("waiter: err=%v claimed=%t", err, pub != nil)
+				return
+			}
+			results <- st
+		}()
+	}
+	want := randState(rand.New(rand.NewSource(5)))
+	time.Sleep(10 * time.Millisecond) // let the waiters block
+	publish(want)
+	wg.Wait()
+	close(results)
+	for st := range results {
+		if st != want {
+			t.Fatal("waiter observed a different state than published")
+		}
+	}
+}
+
+func TestStoreAbandonedClaimWakesWaiter(t *testing.T) {
+	s := NewStore(0)
+	publish := mustMiss(t, s, "k")
+
+	claimed := make(chan func(*DeviceState), 1)
+	go func() {
+		_, pub, err := s.Get(context.Background(), "k")
+		if err != nil {
+			t.Errorf("waiter: %v", err)
+		}
+		claimed <- pub
+	}()
+	time.Sleep(10 * time.Millisecond)
+	publish(nil) // abandon: the waiter must wake up holding a fresh claim
+
+	select {
+	case pub := <-claimed:
+		if pub == nil {
+			t.Fatal("waiter got a hit from an abandoned claim")
+		}
+		pub(nil)
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never woke after the claim was abandoned")
+	}
+}
+
+func TestStoreGetHonorsContext(t *testing.T) {
+	s := NewStore(0)
+	publish := mustMiss(t, s, "k")
+	defer publish(nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := s.Get(ctx, "k")
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled Get returned no error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Get never returned")
+	}
+}
+
+func TestStoreDetachedDirIsMemoryOnly(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(0)
+	if err := s.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetDir(""); err != nil {
+		t.Fatal(err)
+	}
+	mustMiss(t, s, "k")(randState(rand.New(rand.NewSource(6))))
+	entries, err := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("detached store still wrote %d files", len(entries))
+	}
+}

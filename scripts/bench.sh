@@ -20,7 +20,7 @@ label="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}"
 count="${2:-5}"
 out="BENCH_${label}.json"
 
-benches='BenchmarkEngine$|BenchmarkSingleRun$|BenchmarkSingleRunIDA$|BenchmarkCodingMerge$|BenchmarkCodingPlan$|BenchmarkTraceGeneration$'
+benches='BenchmarkEngine$|BenchmarkSingleRun$|BenchmarkSingleRunIDA$|BenchmarkCodingMerge$|BenchmarkCodingPlan$|BenchmarkTraceGeneration$|BenchmarkSnapshotRestore$|BenchmarkFigure8Snapshotted$'
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -49,3 +49,24 @@ awk -v label="$label" '
 
 echo "wrote $out" >&2
 cat "$out"
+
+# Diff against the PR4 baseline when it exists: a per-benchmark delta table
+# so the snapshot is self-explaining next to the committed history.
+baseline="BENCH_PR4.json"
+if [[ -f "$baseline" && "$out" != "$baseline" ]]; then
+  echo >&2
+  echo "delta vs $baseline (ns/op):" >&2
+  python3 - "$baseline" "$out" >&2 <<'PY' || true
+import json, sys
+base = json.load(open(sys.argv[1]))["benchmarks"]
+cur = json.load(open(sys.argv[2]))["benchmarks"]
+width = max(len(n) for n in cur)
+for name, c in cur.items():
+    b = base.get(name)
+    if b is None:
+        print(f"  {name:<{width}}  {c['ns_per_op']:>14.1f}  (new)")
+        continue
+    delta = (c["ns_per_op"] - b["ns_per_op"]) / b["ns_per_op"] * 100
+    print(f"  {name:<{width}}  {b['ns_per_op']:>14.1f} -> {c['ns_per_op']:>14.1f}  {delta:+6.1f}%")
+PY
+fi
