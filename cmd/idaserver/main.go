@@ -6,15 +6,23 @@
 //
 //	idaserver [-listen :8080] [-workers N] [-queue N] [-requests N]
 //	          [-timeout 2m] [-max-timeout 10m] [-drain-timeout 30s]
-//	          [-snapshot-dir dir]
+//	          [-store-dir dir]
 //
 // Endpoints:
 //
 //	POST /v1/run       {"profile":"usr_1","system":{"ida":true,"error_rate":0.2}}
+//	POST /v1/batch     whole sweeps; streams per-point progress (SSE/ndjson)
+//	GET  /v1/jobs/{id} poll a batch job, or resume its stream (?watch=sse&from=N)
 //	GET  /v1/profiles  list runnable profile names
 //	GET  /v1/stats     admission/completion counters
+//	GET  /statz        per-endpoint counters, job gauges, result-cache stats
 //	GET  /healthz      liveness (always 200 while the process serves)
 //	GET  /readyz       readiness (503 once draining)
+//
+// With -store-dir, aged-device snapshots and simulation result payloads are
+// persisted content-addressed under one directory with a shared eviction
+// budget, so identical runs and whole batches are served from disk across
+// restarts, byte for byte.
 //
 // On SIGTERM or interrupt the server stops accepting work (/readyz flips to
 // 503, queued runs are rejected), gives in-flight runs the drain timeout to
@@ -46,11 +54,17 @@ func main() {
 		timeout      = flag.Duration("timeout", 2*time.Minute, "default per-run deadline")
 		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "largest per-run deadline a client may request")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight runs get to finish on shutdown")
-		snapDir      = flag.String("snapshot-dir", "", "persist aged-device snapshots under this directory so preambles survive restarts")
+		storeDir     = flag.String("store-dir", "", "persist snapshots and result payloads content-addressed under this directory")
+		snapDir      = flag.String("snapshot-dir", "", "deprecated alias for -store-dir")
 	)
 	flag.Parse()
-	if *snapDir != "" {
-		if err := idaflash.SetSnapshotDir(*snapDir); err != nil {
+	dir := *storeDir
+	if dir == "" && *snapDir != "" {
+		fmt.Fprintln(os.Stderr, "idaserver: -snapshot-dir is deprecated; use -store-dir")
+		dir = *snapDir
+	}
+	if dir != "" {
+		if err := idaflash.SetStoreDir(dir); err != nil {
 			fmt.Fprintln(os.Stderr, "idaserver:", err)
 			os.Exit(1)
 		}
@@ -70,6 +84,11 @@ func main() {
 
 func run(listen string, cfg server.Config, drainTimeout time.Duration) error {
 	srv := server.New(cfg)
+	if d := idaflash.StoreDisk(); d != nil {
+		// Result payloads share the snapshot store's disk root (and its
+		// eviction budget), so a repeated batch survives a restart.
+		srv.ResultStore().SetBlobs(d.Sub(idaflash.ExtResult))
+	}
 	hs := &http.Server{Addr: listen, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)

@@ -7,7 +7,7 @@
 //	       [-deltatr 50us] [-bits 3] [-late | -pe-cycles N -retention-days D]
 //	       [-sched read-first|fifo|age-aware] [-devices N] [-stripekb K]
 //	       [-parity] [-faults scenario.json]
-//	       [-snapshot-dir dir | -no-snapshot]
+//	       [-store-dir dir | -no-snapshot]
 //	       [-trace-out t.json] [-metrics-out m.csv] [-metrics-interval 100ms]
 //	       [-trace-sample N] [-pprof cpu.out]
 //	idasim -trace trace.csv [-ida] ...
@@ -67,7 +67,8 @@ func main() {
 		perDevice = flag.Bool("per-device", false, "with -devices > 1, print one summary per member device")
 		asJSON    = flag.Bool("json", false, "emit the full Results struct as JSON")
 
-		snapDir     = flag.String("snapshot-dir", "", "persist aged device-state snapshots in this directory, restoring the aging preamble in O(state) on later runs")
+		storeDir    = flag.String("store-dir", "", "persist aged device-state snapshots content-addressed in this directory, restoring the aging preamble in O(state) on later runs")
+		snapDir     = flag.String("snapshot-dir", "", "deprecated alias for -store-dir")
 		noSnapshot  = flag.Bool("no-snapshot", false, "replay the aging preamble from scratch instead of reusing device-state snapshots")
 		traceOut    = flag.String("trace-out", "", "write sampled request spans as Chrome/Perfetto trace-event JSON to this file")
 		metricsOut  = flag.String("metrics-out", "", "write the telemetry time series as CSV to this file")
@@ -124,12 +125,17 @@ func main() {
 	}
 	sys.Parity = *parity
 	sys.NoSnapshot = *noSnapshot
-	if *snapDir != "" {
+	dir := *storeDir
+	if dir == "" && *snapDir != "" {
+		fmt.Fprintln(os.Stderr, "-snapshot-dir is deprecated; use -store-dir")
+		dir = *snapDir
+	}
+	if dir != "" {
 		if *noSnapshot {
-			fmt.Fprintln(os.Stderr, "-snapshot-dir and -no-snapshot are mutually exclusive")
+			fmt.Fprintln(os.Stderr, "-store-dir and -no-snapshot are mutually exclusive")
 			os.Exit(1)
 		}
-		if err := idaflash.SetSnapshotDir(*snapDir); err != nil {
+		if err := idaflash.SetStoreDir(dir); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"idaflash/internal/array"
@@ -40,6 +41,7 @@ import (
 	"idaflash/internal/faults"
 	"idaflash/internal/flash"
 	"idaflash/internal/ftl"
+	"idaflash/internal/results"
 	"idaflash/internal/sim"
 	"idaflash/internal/snapshot"
 	"idaflash/internal/ssd"
@@ -480,16 +482,62 @@ func BuildConfig(p Profile, sys System) (SSDConfig, Profile, error) {
 // O(state) by every later run sharing it, so a sweep pays for prefill, the
 // aging preamble, and warmup once per profile instead of once per system
 // variant. The in-memory tier is always on (bounded, FIFO-evicted); attach
-// a persistent on-disk tier with SetSnapshotDir. Restored runs are
+// a persistent on-disk tier with SetStoreDir. Restored runs are
 // byte-identical to replayed ones, and corrupt or version-skewed snapshots
 // fall back to replay silently.
 var DefaultSnapshots = snapshot.NewStore(0)
 
-// SetSnapshotDir attaches a persistent on-disk tier to DefaultSnapshots
-// (idasim -snapshot-dir, idaserver -snapshot-dir): captured states are
-// written there, content-addressed and checksummed, and survive the
-// process. An empty dir detaches the tier.
-func SetSnapshotDir(dir string) error { return DefaultSnapshots.SetDir(dir) }
+// ExtSnapshot and ExtResult are the blob kinds the shared store root
+// serves: aged device states and canonical simulation result payloads,
+// content-addressed side by side under one eviction budget.
+const (
+	ExtSnapshot = ".snap"
+	ExtResult   = ".json"
+)
+
+var (
+	storeMu   sync.Mutex
+	storeDisk *results.Disk
+)
+
+// SetStoreDir attaches the process-wide content-addressed store root
+// (idasim/idaserver -store-dir): one LRU-bounded directory holding both
+// aged device-state snapshots (wired into DefaultSnapshots) and — when the
+// HTTP service runs — simulation result payloads, under a single shared
+// eviction budget. Blobs are written atomically, survive the process, and
+// every corruption or version-skew failure mode degrades to a cache miss.
+// An empty dir detaches the root.
+func SetStoreDir(dir string) error {
+	storeMu.Lock()
+	defer storeMu.Unlock()
+	if dir == "" {
+		storeDisk = nil
+		DefaultSnapshots.SetBlobs(nil)
+		return nil
+	}
+	d, err := results.OpenDisk(dir, 0)
+	if err != nil {
+		return err
+	}
+	storeDisk = d
+	DefaultSnapshots.SetBlobs(d.Sub(ExtSnapshot))
+	return nil
+}
+
+// StoreDisk returns the shared store root attached by SetStoreDir (nil when
+// detached), for callers — the HTTP server's result store — that layer
+// further blob kinds onto the same budget.
+func StoreDisk() *results.Disk {
+	storeMu.Lock()
+	defer storeMu.Unlock()
+	return storeDisk
+}
+
+// SetSnapshotDir names the store root by its original, snapshot-only role.
+//
+// Deprecated: use SetStoreDir — the directory now also serves result
+// payloads under the shared eviction budget.
+func SetSnapshotDir(dir string) error { return SetStoreDir(dir) }
 
 // snapshotKeyData is everything the aged pre-measurement device state is a
 // function of. Deliberately absent: the coding scheme, IDA knobs, error

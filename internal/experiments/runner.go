@@ -14,7 +14,6 @@ package experiments
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -96,22 +95,12 @@ type pair struct {
 	sys     idaflash.System
 }
 
-// key encodes the full (Profile, System) pair so distinct configurations
-// can never collide in the cache. Both structs contain only exported
-// scalar fields, and encoding/json emits them in declaration order, so the
-// encoding is deterministic and lossless (an earlier hand-rolled key
-// truncated ErrorRate to a permille and silently omitted newer fields).
-// An encoding failure is returned rather than panicked; Run falls back to
-// an uncached execution.
+// key is the canonical, versioned memo key (see Key): distinct
+// configurations can never collide, and equivalent descriptions of one
+// simulation — a sparse profile and its normalized form, wire JSON with
+// reordered fields — share a single entry across every cache layer.
 func key(p workload.Profile, sys idaflash.System) (string, error) {
-	b, err := json.Marshal(struct {
-		P workload.Profile
-		S idaflash.System
-	}{p, sys})
-	if err != nil {
-		return "", fmt.Errorf("experiments: encoding cache key: %w", err)
-	}
-	return string(b), nil
+	return Key(p, sys)
 }
 
 // Run executes (or recalls) one simulation. Concurrent calls with the same

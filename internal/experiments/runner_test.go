@@ -12,7 +12,10 @@ import (
 )
 
 func TestKeyDistinguishesConfigs(t *testing.T) {
-	p := workload.Profile{Name: "p", Requests: 1000}
+	// A valid profile: the canonical key normalizes (default-fills) the
+	// profile before encoding, so it must pass Normalize.
+	p := workload.Profile{Name: "p", ReadRatio: 0.5, MeanReadKB: 8,
+		ReadDataRatio: 0.5, TargetInvalidMSB: 0.3, Requests: 1000}
 	base := idaflash.IDA(0.20)
 	cases := []struct {
 		label string

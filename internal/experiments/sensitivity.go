@@ -17,11 +17,10 @@ var deltaTRs = []time.Duration{
 	70 * time.Microsecond,
 }
 
-// Figure9 reproduces the device sensitivity study: IDA-Coding-E20 read
-// response times normalized to a baseline with the same delta-tR, for
-// delta-tR from 30 us to 70 us.
-func Figure9(r *Runner) (*Table, error) {
-	profiles := r.profiles()
+// sensitivitySystems returns the Figure 9 sweep's systems: a (baseline,
+// IDA-E20) pair per delta-tR point, in sweep order. Shared with the batch
+// API's "sensitivity" sweep so the two enumerate identical memo keys.
+func sensitivitySystems() []idaflash.System {
 	var systems []idaflash.System
 	for _, d := range deltaTRs {
 		base := idaflash.Baseline()
@@ -32,6 +31,15 @@ func Figure9(r *Runner) (*Table, error) {
 		ida.DeltaTR = d
 		systems = append(systems, base, ida)
 	}
+	return systems
+}
+
+// Figure9 reproduces the device sensitivity study: IDA-Coding-E20 read
+// response times normalized to a baseline with the same delta-tR, for
+// delta-tR from 30 us to 70 us.
+func Figure9(r *Runner) (*Table, error) {
+	profiles := r.profiles()
+	systems := sensitivitySystems()
 	if err := r.RunAll(crossProduct(profiles, systems)); err != nil {
 		return nil, err
 	}

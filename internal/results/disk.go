@@ -1,0 +1,256 @@
+// Package results is the farm's durable memory: a content-addressed,
+// LRU-bounded blob root on disk (Disk) shared by simulation result payloads
+// (".json") and aged device-state snapshots (".snap"), plus a singleflighted
+// result cache (Store) layered over it. Both tiers are keyed by the
+// canonical experiments memo key — versioned JSON of the (Profile, System)
+// pair hashed with SHA-256 — so identical simulation points are served from
+// cache across process restarts and across clients, byte for byte.
+package results
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+)
+
+// DefaultDiskBudget bounds a Disk that was opened without an explicit
+// budget: 2 GiB holds thousands of result payloads and hundreds of device
+// snapshots — every realistic sweep — while keeping a CI cache or a
+// developer's scratch directory from growing without bound.
+const DefaultDiskBudget = 2 << 30
+
+// blobName matches the content-addressed files a Disk owns: a SHA-256 hex
+// digest plus a kind extension. Anything else in the directory (temp files,
+// stray notes) is left alone and never counted against the budget.
+var blobName = regexp.MustCompile(`^[0-9a-f]{64}\.[a-z]+$`)
+
+// Disk is a content-addressed blob directory with a shared byte budget:
+// files are named by the SHA-256 of their key plus a kind extension, writes
+// are atomic (temp file + rename), reads and writes refresh recency, and
+// when the directory grows past the budget the least-recently-used blobs —
+// of any kind — are evicted. One Disk therefore serves result payloads and
+// snapshot blobs out of a single eviction pool, so a snapshot-heavy sweep
+// and a result-heavy one compete for the same bytes instead of each hoarding
+// a private cap.
+//
+// All failure modes degrade to cache misses: a vanished file, a failed
+// write, or a directory someone else cleaned underneath us never surfaces as
+// an error to the simulation.
+type Disk struct {
+	mu     sync.Mutex
+	dir    string
+	budget int64
+	files  map[string]*list.Element // blob name -> lru element
+	lru    *list.List               // front = most recent; value: *blobInfo
+	bytes  int64
+
+	// Logf, when set, receives fail-soft diagnostics (eviction notices,
+	// write failures). The default discards them.
+	Logf func(format string, args ...any)
+}
+
+type blobInfo struct {
+	name string
+	size int64
+}
+
+// OpenDisk opens (creating if needed) a content-addressed blob root with the
+// given byte budget (<= 0 uses DefaultDiskBudget). Existing blobs are
+// inventoried by modification time so a freshly opened Disk evicts the
+// stalest files first.
+func OpenDisk(dir string, budget int64) (*Disk, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("results: empty disk directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	if budget <= 0 {
+		budget = DefaultDiskBudget
+	}
+	d := &Disk{
+		dir:    dir,
+		budget: budget,
+		files:  make(map[string]*list.Element),
+		lru:    list.New(),
+	}
+	d.scan()
+	return d, nil
+}
+
+// Dir returns the root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// Bytes returns the accounted size of all owned blobs.
+func (d *Disk) Bytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytes
+}
+
+// Len returns the number of owned blobs.
+func (d *Disk) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.files)
+}
+
+// Sub returns a view of the Disk that stores blobs of one kind (an
+// extension like ".json" or ".snap"). Views share the Disk's budget and
+// eviction order; they only partition the namespace.
+func (d *Disk) Sub(ext string) *Blobs { return &Blobs{d: d, ext: ext} }
+
+// scan inventories pre-existing blobs, oldest first, so eviction order
+// survives the process boundary.
+func (d *Disk) scan() {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	type aged struct {
+		info blobInfo
+		mod  int64
+	}
+	var found []aged
+	for _, e := range entries {
+		if e.IsDir() || !blobName.MatchString(e.Name()) {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, aged{blobInfo{e.Name(), fi.Size()}, fi.ModTime().UnixNano()})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mod < found[j].mod })
+	d.mu.Lock()
+	for _, f := range found {
+		info := f.info
+		d.files[info.name] = d.lru.PushFront(&info)
+		d.bytes += info.size
+	}
+	d.evictLocked()
+	d.mu.Unlock()
+}
+
+// nameFor content-addresses a key.
+func nameFor(key, ext string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + ext
+}
+
+func (d *Disk) logf(format string, args ...any) {
+	if d.Logf != nil {
+		d.Logf(format, args...)
+	}
+}
+
+// get reads a blob, refreshing its recency. A missing or unreadable file is
+// a miss (nil); a file present on disk but unknown to the accounting — e.g.
+// written by a previous process after this one scanned — is adopted.
+func (d *Disk) get(name string) []byte {
+	b, err := os.ReadFile(filepath.Join(d.dir, name))
+	if err != nil {
+		d.forget(name)
+		return nil
+	}
+	d.mu.Lock()
+	if el, ok := d.files[name]; ok {
+		d.lru.MoveToFront(el)
+	} else {
+		d.files[name] = d.lru.PushFront(&blobInfo{name, int64(len(b))})
+		d.bytes += int64(len(b))
+		d.evictLocked()
+	}
+	d.mu.Unlock()
+	return b
+}
+
+// put writes a blob atomically and evicts over-budget blobs, oldest first.
+// Failures are logged and swallowed: persistence is an optimization.
+func (d *Disk) put(name string, b []byte) {
+	tmp, err := os.CreateTemp(d.dir, ".blob-*")
+	if err != nil {
+		d.logf("results: %v", err)
+		return
+	}
+	if _, err := tmp.Write(b); err == nil {
+		err = tmp.Close()
+		if err == nil {
+			err = os.Rename(tmp.Name(), filepath.Join(d.dir, name))
+		}
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		d.logf("results: writing %s: %v", name, err)
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	d.mu.Lock()
+	if el, ok := d.files[name]; ok {
+		info := el.Value.(*blobInfo)
+		d.bytes += int64(len(b)) - info.size
+		info.size = int64(len(b))
+		d.lru.MoveToFront(el)
+	} else {
+		d.files[name] = d.lru.PushFront(&blobInfo{name, int64(len(b))})
+		d.bytes += int64(len(b))
+	}
+	d.evictLocked()
+	d.mu.Unlock()
+}
+
+// delete removes a blob (a corrupt payload a reader rejected).
+func (d *Disk) delete(name string) {
+	_ = os.Remove(filepath.Join(d.dir, name))
+	d.forget(name)
+}
+
+// forget drops a blob from the accounting without touching the file.
+func (d *Disk) forget(name string) {
+	d.mu.Lock()
+	if el, ok := d.files[name]; ok {
+		d.bytes -= el.Value.(*blobInfo).size
+		d.lru.Remove(el)
+		delete(d.files, name)
+	}
+	d.mu.Unlock()
+}
+
+// evictLocked removes least-recently-used blobs until the budget holds.
+// Called with d.mu held.
+func (d *Disk) evictLocked() {
+	for d.bytes > d.budget && d.lru.Len() > 1 {
+		el := d.lru.Back()
+		info := el.Value.(*blobInfo)
+		d.lru.Remove(el)
+		delete(d.files, info.name)
+		d.bytes -= info.size
+		_ = os.Remove(filepath.Join(d.dir, info.name))
+		d.logf("results: evicted %s (%d bytes) over budget", info.name, info.size)
+	}
+}
+
+// Blobs is one kind's view of a Disk (see Disk.Sub). It satisfies the
+// snapshot store's blob-tier interface structurally, so the snapshot
+// package never imports this one.
+type Blobs struct {
+	d   *Disk
+	ext string
+}
+
+// Get returns the blob stored under key, or nil on any miss.
+func (v *Blobs) Get(key string) []byte { return v.d.get(nameFor(key, v.ext)) }
+
+// Put stores a blob under key, atomically, evicting over budget.
+func (v *Blobs) Put(key string, b []byte) { v.d.put(nameFor(key, v.ext), b) }
+
+// Delete removes key's blob (callers drop payloads they failed to decode).
+func (v *Blobs) Delete(key string) { v.d.delete(nameFor(key, v.ext)) }

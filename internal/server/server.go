@@ -24,6 +24,8 @@ import (
 
 	"idaflash"
 	"idaflash/internal/experiments"
+	"idaflash/internal/farm"
+	"idaflash/internal/results"
 	"idaflash/internal/workload"
 )
 
@@ -91,6 +93,13 @@ type Server struct {
 	// run executes one simulation; the runner's memoized RunContext in
 	// production, replaced by tests that need controllable latency.
 	run func(context.Context, idaflash.Profile, idaflash.System) (idaflash.Results, error)
+	// results memoizes canonical result payloads by the experiments memo
+	// key; with a persistent blob tier attached (ResultStore().SetBlobs)
+	// identical points are served byte-identical across restarts.
+	results *results.Store
+	// farm owns batch jobs, sharding their points across the same workers
+	// channel the single-run endpoint uses.
+	farm *farm.Manager
 
 	// Two-level admission. tokens has Workers+QueueDepth slots and is
 	// acquired without blocking: failure means the queue cap is hit and
@@ -113,6 +122,35 @@ type Server struct {
 
 	accepted, shed, completed, failed, cancelled, panics atomic.Uint64
 	inflightN                                            atomic.Int64
+	endpoints                                            endpointCounters
+}
+
+// endpointCounters are per-endpoint request totals for /statz. Go 1.22's
+// mux does not expose the matched pattern on the request, so each handler
+// bumps its own counter.
+type endpointCounters struct {
+	run, batch, jobs, profiles, stats, statz, healthz, readyz atomic.Uint64
+}
+
+func (e *endpointCounters) snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"run":      e.run.Load(),
+		"batch":    e.batch.Load(),
+		"jobs":     e.jobs.Load(),
+		"profiles": e.profiles.Load(),
+		"stats":    e.stats.Load(),
+		"statz":    e.statz.Load(),
+		"healthz":  e.healthz.Load(),
+		"readyz":   e.readyz.Load(),
+	}
+}
+
+// counted wraps a handler with its endpoint counter.
+func counted(c *atomic.Uint64, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Add(1)
+		h(w, r)
+	}
 }
 
 // New builds a server around a fresh experiments runner.
@@ -131,17 +169,63 @@ func New(cfg Config) *Server {
 		drainCh: make(chan struct{}),
 	}
 	s.runsCtx, s.cancelRuns = context.WithCancel(context.Background())
+	s.results = results.NewStore(0)
+	s.farm = farm.New(farm.Config{
+		Slots:    s.workers,
+		Run:      s.runPoint,
+		Parent:   s.runsCtx,
+		Classify: classifyRunError,
+	})
 	return s
+}
+
+// ResultStore returns the server's result cache, so startup code can attach
+// the persistent blob tier of the shared -store-dir root.
+func (s *Server) ResultStore() *results.Store { return s.results }
+
+// classifyRunError maps a non-context run error onto its wire kind, the
+// same split writeRunError makes for single runs.
+func classifyRunError(err error) string {
+	if idaflash.IsInvariantError(err) {
+		return "invariant"
+	}
+	return "internal"
+}
+
+// runStored executes one point through the result store: the canonical memo
+// key addresses both the in-memory cache and the disk blob tier, concurrent
+// identical points singleflight, and a hit returns the stored payload
+// byte-identical to its cold computation.
+func (s *Server) runStored(ctx context.Context, p idaflash.Profile, sys idaflash.System) (json.RawMessage, bool, error) {
+	key, err := experiments.Key(p, sys)
+	if err != nil {
+		return nil, false, err
+	}
+	return s.results.GetOrCompute(ctx, key, func(ctx context.Context) ([]byte, error) {
+		res, err := s.run(ctx, p, sys)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	})
+}
+
+// runPoint adapts runStored to the farm's per-point contract.
+func (s *Server) runPoint(ctx context.Context, pt experiments.Point) (json.RawMessage, bool, error) {
+	return s.runStored(ctx, pt.Profile, pt.System)
 }
 
 // Handler returns the service mux wrapped in the panic-recovery middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/run", s.handleRun)
-	mux.HandleFunc("GET /v1/profiles", s.handleProfiles)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /v1/run", counted(&s.endpoints.run, s.handleRun))
+	mux.HandleFunc("POST /v1/batch", counted(&s.endpoints.batch, s.handleBatch))
+	mux.HandleFunc("GET /v1/jobs/{id}", counted(&s.endpoints.jobs, s.handleJob))
+	mux.HandleFunc("GET /v1/profiles", counted(&s.endpoints.profiles, s.handleProfiles))
+	mux.HandleFunc("GET /v1/stats", counted(&s.endpoints.stats, s.handleStats))
+	mux.HandleFunc("GET /statz", counted(&s.endpoints.statz, s.handleStatz))
+	mux.HandleFunc("GET /healthz", counted(&s.endpoints.healthz, s.handleHealthz))
+	mux.HandleFunc("GET /readyz", counted(&s.endpoints.readyz, s.handleReadyz))
 	return s.recoverPanics(mux)
 }
 
@@ -223,10 +307,13 @@ type SystemSpec struct {
 
 // RunResponse is the POST /v1/run success body.
 type RunResponse struct {
-	Profile   string           `json:"profile"`
-	System    string           `json:"system"`
-	ElapsedMs int64            `json:"elapsed_ms"`
-	Results   idaflash.Results `json:"results"`
+	Profile   string `json:"profile"`
+	System    string `json:"system"`
+	ElapsedMs int64  `json:"elapsed_ms"`
+	// Cached reports the run was served from the result store without
+	// executing a simulation.
+	Cached  bool             `json:"cached"`
+	Results idaflash.Results `json:"results"`
 }
 
 // errorBody is every non-2xx JSON payload. Kind is machine-matchable:
@@ -318,36 +405,52 @@ func (s *Server) parse(r *http.Request) (idaflash.Profile, idaflash.System, time
 	if err != nil {
 		return idaflash.Profile{}, idaflash.System{}, 0, err
 	}
-	sched, err := idaflash.ParseSchedulerPolicy(req.System.Scheduler)
+	sys, err := buildSystem(req.System)
 	if err != nil {
 		return idaflash.Profile{}, idaflash.System{}, 0, err
 	}
-	coding, err := idaflash.ParseCoding(req.System.Coding)
+	return profile, sys, s.clampTimeout(req.TimeoutMs), nil
+}
+
+// buildSystem turns the wire spec into a validated device configuration;
+// shared by the single-run and batch endpoints.
+func buildSystem(spec SystemSpec) (idaflash.System, error) {
+	sched, err := idaflash.ParseSchedulerPolicy(spec.Scheduler)
 	if err != nil {
-		return idaflash.Profile{}, idaflash.System{}, 0, err
+		return idaflash.System{}, err
+	}
+	coding, err := idaflash.ParseCoding(spec.Coding)
+	if err != nil {
+		return idaflash.System{}, err
 	}
 	sys := idaflash.Baseline()
-	if req.System.IDA {
-		sys = idaflash.IDA(req.System.ErrorRate)
+	if spec.IDA {
+		sys = idaflash.IDA(spec.ErrorRate)
 	}
 	sys.Coding = coding
 	if coding != idaflash.CodingIDA {
 		sys.Name += "-" + coding
 	}
-	sys.BitsPerCell = req.System.BitsPerCell
+	sys.BitsPerCell = spec.BitsPerCell
 	sys.Scheduler = sched
-	sys.Devices = req.System.Devices
-	sys.StripeKB = req.System.StripeKB
-	sys.Parity = req.System.Parity
-	sys.NoSnapshot = req.System.NoSnapshot
+	sys.Devices = spec.Devices
+	sys.StripeKB = spec.StripeKB
+	sys.Parity = spec.Parity
+	sys.NoSnapshot = spec.NoSnapshot
+	return sys, nil
+}
+
+// clampTimeout applies the server's default and ceiling to a request's
+// timeout field.
+func (s *Server) clampTimeout(ms int64) time.Duration {
 	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMs > 0 {
-		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	if ms > 0 {
+		timeout = time.Duration(ms) * time.Millisecond
 	}
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
-	return profile, sys, timeout, nil
+	return timeout
 }
 
 // handleRun is the work endpoint: admission, deadline, execution, and the
@@ -406,7 +509,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	res, err := func() (idaflash.Results, error) {
+	payload, cached, err := func() (json.RawMessage, bool, error) {
 		// The worker slot is released on every exit, including a panic
 		// unwinding out of the run seam (the exported simulation API never
 		// panics, but a leaked slot would wedge the pool forever, so the
@@ -420,7 +523,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 				panic(v)
 			}
 		}()
-		return s.run(ctx, profile, sys)
+		return s.runStored(ctx, profile, sys)
 	}()
 
 	if err != nil {
@@ -435,14 +538,23 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeRunError(w, err)
 		return
 	}
+	var res idaflash.Results
+	if err := json.Unmarshal(payload, &res); err != nil {
+		s.failed.Add(1)
+		writeError(w, http.StatusInternalServerError, "internal",
+			fmt.Sprintf("decoding stored result: %v", err))
+		return
+	}
 	s.completed.Add(1)
 	if s.cfg.Log != nil {
-		s.cfg.Log.Printf("ran %s/%s in %v", profile.Name, sys.Name, time.Since(start).Round(time.Millisecond))
+		s.cfg.Log.Printf("ran %s/%s in %v (cached=%v)", profile.Name, sys.Name,
+			time.Since(start).Round(time.Millisecond), cached)
 	}
 	writeJSON(w, http.StatusOK, RunResponse{
 		Profile:   profile.Name,
 		System:    sys.Name,
 		ElapsedMs: time.Since(start).Milliseconds(),
+		Cached:    cached,
 		Results:   res,
 	})
 }

@@ -19,8 +19,10 @@ const defaultStoreLimit = 64
 // Store caches aged device states by an opaque caller-built key (the
 // facade's normalized-profile + device-shape key). It has two tiers: a
 // bounded in-memory map with FIFO eviction, always on, and an optional
-// content-addressed on-disk directory (SetDir) whose files survive the
-// process — CI caches that directory across workflow runs.
+// persistent tier whose blobs survive the process — either a store-owned
+// directory (SetDir) or, preferred, the process-wide shared blob root
+// (SetBlobs) that snapshots and result payloads split one eviction budget
+// over — CI caches that directory across workflow runs.
 //
 // Get implements singleflight claims: the first caller of a missing key
 // receives a publish callback and computes the state (by running the aging
@@ -35,10 +37,25 @@ type Store struct {
 	order   []string
 	limit   int
 	dir     string
+	blobs   Blobs
 
 	// Logf, when set, receives fail-soft diagnostics (corrupt files,
 	// rejected restores). The default discards them.
 	Logf func(format string, args ...any)
+}
+
+// Blobs is a content-addressed persistent blob tier. When attached with
+// SetBlobs it supersedes the store-owned directory (SetDir): the facade
+// wires the shared results.Disk root here so snapshot blobs and result
+// payloads live under one directory with one eviction budget. Declared
+// structurally so this package needs no import of the disk implementation.
+type Blobs interface {
+	// Get returns the blob stored under key, or nil on any miss.
+	Get(key string) []byte
+	// Put stores a blob under key atomically.
+	Put(key string, b []byte)
+	// Delete removes key's blob (a corrupt snapshot the decoder rejected).
+	Delete(key string)
 }
 
 // entry is one key's memoized state. ready closes exactly once, after which
@@ -72,6 +89,16 @@ func (s *Store) SetDir(dir string) error {
 	s.dir = dir
 	s.mu.Unlock()
 	return nil
+}
+
+// SetBlobs attaches (or, with nil, detaches) a shared persistent blob tier.
+// A non-nil tier takes precedence over a SetDir directory, so a process
+// that wires the shared content-addressed root gets one disk layout — and
+// one eviction budget — for snapshots and result payloads alike.
+func (s *Store) SetBlobs(b Blobs) {
+	s.mu.Lock()
+	s.blobs = b
+	s.mu.Unlock()
 }
 
 // Dir returns the on-disk tier's directory ("" when detached).
@@ -127,10 +154,10 @@ func (s *Store) Get(ctx context.Context, key string) (st *DeviceState, publish f
 			delete(s.entries, s.order[0])
 			s.order = s.order[1:]
 		}
-		dir := s.dir
+		dir, blobs := s.dir, s.blobs
 		s.mu.Unlock()
 
-		if cached := s.loadDisk(dir, key); cached != nil {
+		if cached := s.loadDisk(dir, blobs, key); cached != nil {
 			e.publish(cached)
 			return cached, nil, nil
 		}
@@ -172,9 +199,11 @@ func (s *Store) Drop(key string) {
 			}
 		}
 	}
-	dir := s.dir
+	dir, blobs := s.dir, s.blobs
 	s.mu.Unlock()
-	if dir != "" {
+	if blobs != nil {
+		blobs.Delete(key)
+	} else if dir != "" {
 		_ = os.Remove(s.fileFor(dir, key))
 	}
 }
@@ -193,10 +222,25 @@ func (s *Store) fileFor(dir, key string) string {
 	return filepath.Join(dir, hex.EncodeToString(sum[:])+".snap")
 }
 
-// loadDisk reads and decodes a key's file, failing soft: any problem —
-// missing file, truncation, bad checksum, version skew — is a miss, and a
-// structurally bad file is deleted so it cannot cost a decode on every run.
-func (s *Store) loadDisk(dir, key string) *DeviceState {
+// loadDisk reads and decodes a key's persisted state — from the shared blob
+// tier when attached, the store-owned directory otherwise — failing soft:
+// any problem (missing file, truncation, bad checksum, version skew) is a
+// miss, and a structurally bad blob is deleted so it cannot cost a decode
+// on every run.
+func (s *Store) loadDisk(dir string, blobs Blobs, key string) *DeviceState {
+	if blobs != nil {
+		b := blobs.Get(key)
+		if b == nil {
+			return nil
+		}
+		st, err := Decode(b)
+		if err != nil {
+			s.logf("snapshot: discarding blob for %q: %v", key, err)
+			blobs.Delete(key)
+			return nil
+		}
+		return st
+	}
 	if dir == "" {
 		return nil
 	}
@@ -214,19 +258,24 @@ func (s *Store) loadDisk(dir, key string) *DeviceState {
 	return st
 }
 
-// saveDisk encodes and writes a state atomically (temp file + rename), so a
-// crashed or concurrent writer can never leave a torn file for loadDisk to
-// trip over. Errors are logged and swallowed: persistence is an optimization.
+// saveDisk encodes and persists a state atomically (the blob tier and the
+// legacy directory path both write temp file + rename), so a crashed or
+// concurrent writer can never leave a torn file for loadDisk to trip over.
+// Errors are logged and swallowed: persistence is an optimization.
 func (s *Store) saveDisk(key string, st *DeviceState) {
 	s.mu.Lock()
-	dir := s.dir
+	dir, blobs := s.dir, s.blobs
 	s.mu.Unlock()
-	if dir == "" {
+	if dir == "" && blobs == nil {
 		return
 	}
 	b, err := Encode(st)
 	if err != nil {
 		s.logf("snapshot: encoding %q: %v", key, err)
+		return
+	}
+	if blobs != nil {
+		blobs.Put(key, b)
 		return
 	}
 	tmp, err := os.CreateTemp(dir, ".snap-*")
