@@ -174,6 +174,32 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 	}
 }
 
+// BenchmarkFarmThroughput measures sustained runs/sec with GOMAXPROCS
+// parallel workers replaying warm-store simulations, the farm's steady
+// state: every worker restores its aged device from the shared snapshot
+// store and checks its simulation state out of the shared device arena.
+// This is the end-to-end number the run-arena layer exists to move.
+func BenchmarkFarmThroughput(b *testing.B) {
+	p, err := idaflash.ProfileByName("hm_1", benchRequests)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the snapshot store and trace cache before the timer.
+	if _, err := idaflash.RunWorkload(p, idaflash.IDA(0.2)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := idaflash.RunWorkload(p, idaflash.IDA(0.2)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+}
+
 // BenchmarkFigure8Snapshotted regenerates the headline sweep with every
 // profile's snapshot already captured, the steady state of an experiment
 // sweep iterated during development: all system variants restore their aged

@@ -6,7 +6,7 @@
 //
 //	idaserver [-listen :8080] [-workers N] [-queue N] [-requests N]
 //	          [-timeout 2m] [-max-timeout 10m] [-drain-timeout 30s]
-//	          [-store-dir dir]
+//	          [-store-dir dir] [-pprof-listen addr]
 //
 // Endpoints:
 //
@@ -15,7 +15,7 @@
 //	GET  /v1/jobs/{id} poll a batch job, or resume its stream (?watch=sse&from=N)
 //	GET  /v1/profiles  list runnable profile names
 //	GET  /v1/stats     admission/completion counters
-//	GET  /statz        per-endpoint counters, job gauges, result-cache stats
+//	GET  /statz        per-endpoint counters, job/runtime/arena gauges, cache stats
 //	GET  /healthz      liveness (always 200 while the process serves)
 //	GET  /readyz       readiness (503 once draining)
 //
@@ -36,6 +36,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	// Registers the profiling endpoints on http.DefaultServeMux. The API
+	// server runs its own mux, so the profiles are reachable only through
+	// the separate, opt-in -pprof-listen listener.
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,18 +60,29 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight runs get to finish on shutdown")
 		storeDir     = flag.String("store-dir", "", "persist snapshots and result payloads content-addressed under this directory")
 		snapDir      = flag.String("snapshot-dir", "", "deprecated alias for -store-dir")
+		pprofListen  = flag.String("pprof-listen", "", "serve net/http/pprof debug endpoints on this address (e.g. localhost:6060); empty disables them")
 	)
 	flag.Parse()
-	dir := *storeDir
-	if dir == "" && *snapDir != "" {
-		fmt.Fprintln(os.Stderr, "idaserver: -snapshot-dir is deprecated; use -store-dir")
-		dir = *snapDir
+	dir, warn := idaflash.ResolveStoreDir(*storeDir, *snapDir)
+	if warn != "" {
+		fmt.Fprintln(os.Stderr, "idaserver:", warn)
 	}
 	if dir != "" {
 		if err := idaflash.SetStoreDir(dir); err != nil {
 			fmt.Fprintln(os.Stderr, "idaserver:", err)
 			os.Exit(1)
 		}
+	}
+	if *pprofListen != "" {
+		// The profiling listener is deliberately separate from the API
+		// listener: exposing pprof is opt-in, and an operator can bind it
+		// to localhost while the API serves a wider network.
+		go func(addr string) {
+			log.Printf("idaserver: pprof listening on %s", addr)
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				log.Printf("idaserver: pprof listener: %v", err)
+			}
+		}(*pprofListen)
 	}
 	if err := run(*listen, server.Config{
 		Workers:        *workers,

@@ -7,7 +7,7 @@
 //	       [-deltatr 50us] [-bits 3] [-late | -pe-cycles N -retention-days D]
 //	       [-sched read-first|fifo|age-aware] [-devices N] [-stripekb K]
 //	       [-parity] [-faults scenario.json]
-//	       [-store-dir dir | -no-snapshot]
+//	       [-store-dir dir | -no-snapshot] [-no-pool]
 //	       [-trace-out t.json] [-metrics-out m.csv] [-metrics-interval 100ms]
 //	       [-trace-sample N] [-pprof cpu.out]
 //	idasim -trace trace.csv [-ida] ...
@@ -70,6 +70,7 @@ func main() {
 		storeDir    = flag.String("store-dir", "", "persist aged device-state snapshots content-addressed in this directory, restoring the aging preamble in O(state) on later runs")
 		snapDir     = flag.String("snapshot-dir", "", "deprecated alias for -store-dir")
 		noSnapshot  = flag.Bool("no-snapshot", false, "replay the aging preamble from scratch instead of reusing device-state snapshots")
+		noPool      = flag.Bool("no-pool", false, "build a fresh device per run instead of reusing pooled simulation state")
 		traceOut    = flag.String("trace-out", "", "write sampled request spans as Chrome/Perfetto trace-event JSON to this file")
 		metricsOut  = flag.String("metrics-out", "", "write the telemetry time series as CSV to this file")
 		metricsIval = flag.Duration("metrics-interval", 100*time.Millisecond, "simulated-time sampling period for -metrics-out")
@@ -125,10 +126,10 @@ func main() {
 	}
 	sys.Parity = *parity
 	sys.NoSnapshot = *noSnapshot
-	dir := *storeDir
-	if dir == "" && *snapDir != "" {
-		fmt.Fprintln(os.Stderr, "-snapshot-dir is deprecated; use -store-dir")
-		dir = *snapDir
+	sys.NoPool = *noPool
+	dir, warn := idaflash.ResolveStoreDir(*storeDir, *snapDir)
+	if warn != "" {
+		fmt.Fprintln(os.Stderr, warn)
 	}
 	if dir != "" {
 		if *noSnapshot {

@@ -42,6 +42,7 @@ import (
 	"idaflash/internal/flash"
 	"idaflash/internal/ftl"
 	"idaflash/internal/results"
+	"idaflash/internal/runpool"
 	"idaflash/internal/sim"
 	"idaflash/internal/snapshot"
 	"idaflash/internal/ssd"
@@ -345,6 +346,13 @@ type System struct {
 	// A/B-verifying exactly that, and for callers who want a sweep's
 	// memory back.
 	NoSnapshot bool
+	// NoPool opts this run out of the device arena (DefaultArena): the
+	// simulation runs on a freshly constructed device and the device is
+	// not parked for reuse afterwards. Pooled runs are byte-identical to
+	// unpooled ones (the reuse-equivalence tests gate that); the knob
+	// exists for A/B-verifying exactly that and for one-off runs that
+	// should not retain a device's memory.
+	NoPool bool
 }
 
 // Baseline returns the paper's baseline system.
@@ -487,6 +495,22 @@ func BuildConfig(p Profile, sys System) (SSDConfig, Profile, error) {
 // fall back to replay silently.
 var DefaultSnapshots = snapshot.NewStore(0)
 
+// DefaultArena pools fully-built simulation devices between runs, keyed by
+// geometry: a sweep worker's next point resets the previous point's device
+// in place (engine heap, dense L2P, block tables, histograms, op pools all
+// reused) instead of reallocating them. Checkout and return are automatic
+// in RunWorkload/RunArrayWorkload; System.NoPool opts a run out. Devices
+// are only parked after cleanly completed runs, so a failed or cancelled
+// run can never leak mid-run state into a later one.
+var DefaultArena = runpool.New(0)
+
+// PoolStats is the device arena's traffic counters (see runpool.Stats).
+type PoolStats = runpool.Stats
+
+// ArenaStats returns a snapshot of DefaultArena's reuse counters, for
+// service-mode observability (/statz) and tests.
+func ArenaStats() PoolStats { return DefaultArena.Stats() }
+
 // ExtSnapshot and ExtResult are the blob kinds the shared store root
 // serves: aged device states and canonical simulation result payloads,
 // content-addressed side by side under one eviction budget.
@@ -538,6 +562,22 @@ func StoreDisk() *results.Disk {
 // Deprecated: use SetStoreDir — the directory now also serves result
 // payloads under the shared eviction budget.
 func SetSnapshotDir(dir string) error { return SetStoreDir(dir) }
+
+// ResolveStoreDir arbitrates between the -store-dir flag and its deprecated
+// -snapshot-dir alias for the command-line tools: -store-dir always wins,
+// and exactly one warning is returned whenever the alias was set — naming
+// the precedence when both flags were given, or just the deprecation when
+// only the alias was. An empty warning means the alias was not used.
+func ResolveStoreDir(storeDir, snapshotDir string) (dir, warning string) {
+	switch {
+	case snapshotDir == "":
+		return storeDir, ""
+	case storeDir == "":
+		return snapshotDir, "-snapshot-dir is deprecated; use -store-dir"
+	default:
+		return storeDir, "-snapshot-dir is deprecated and ignored because -store-dir is set"
+	}
+}
 
 // snapshotKeyData is everything the aged pre-measurement device state is a
 // function of. Deliberately absent: the coding scheme, IDA knobs, error
@@ -613,7 +653,13 @@ func RunWorkloadContext(ctx context.Context, p Profile, sys System) (Results, er
 		res, err := RunArrayWorkloadContext(ctx, p, sys)
 		return res.Combined, err
 	}
-	r, _, err := runWorkload(ctx, p, sys)
+	r, dev, err := runWorkload(ctx, p, sys)
+	// Results share no memory with the device, so a cleanly finished
+	// device goes back to the arena for the sweep's next point. Failed or
+	// cancelled runs drop the device: its engine may hold undrained events.
+	if err == nil && !sys.NoPool {
+		DefaultArena.Put(dev)
+	}
 	return r, err
 }
 
@@ -659,9 +705,13 @@ func RunArrayWorkloadContext(ctx context.Context, p Profile, sys System) (ArrayR
 	if err != nil {
 		return ArrayResults{}, err
 	}
-	arr, err := array.New(array.Config{
+	ac := array.Config{
 		Devices: devices, StripeKB: sys.StripeKB, Parity: sys.Parity, Device: cfg,
-	})
+	}
+	if !sys.NoPool {
+		ac.Pool = DefaultArena
+	}
+	arr, err := array.New(ac)
 	if err != nil {
 		return ArrayResults{}, err
 	}
@@ -674,7 +724,11 @@ func RunArrayWorkloadContext(ctx context.Context, p Profile, sys System) (ArrayR
 			opts.Snapshots, opts.SnapshotKey = DefaultSnapshots, key
 		}
 	}
-	return arr.RunContext(ctx, tr, opts)
+	res, err := arr.RunContext(ctx, tr, opts)
+	if err == nil {
+		arr.Release()
+	}
+	return res, err
 }
 
 func runWorkload(ctx context.Context, p Profile, sys System) (Results, *SSD, error) {
@@ -690,7 +744,12 @@ func runWorkload(ctx context.Context, p Profile, sys System) (Results, *SSD, err
 	if err != nil {
 		return Results{}, nil, err
 	}
-	dev, err := ssd.New(cfg)
+	var dev *SSD
+	if sys.NoPool {
+		dev, err = ssd.New(cfg)
+	} else {
+		dev, err = DefaultArena.Get(cfg)
+	}
 	if err != nil {
 		return Results{}, nil, err
 	}

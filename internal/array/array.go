@@ -47,6 +47,19 @@ type Config struct {
 	// Device is the per-device configuration template. Each device gets
 	// a decorrelated Seed (and FTL seed) derived from it.
 	Device ssd.Config
+	// Pool, when non-nil, supplies the member devices (runpool.Arena
+	// satisfies it): New checks devices out instead of building them, and
+	// Release parks them again after a clean run. Nil builds fresh
+	// devices, as before.
+	Pool DevicePool
+}
+
+// DevicePool is the device-reuse seam: a geometry-keyed pool of idle
+// simulation devices. Get returns a device configured per the config
+// (reset in place or freshly built); Put parks a cleanly finished device.
+type DevicePool interface {
+	Get(cfg ssd.Config) (*ssd.SSD, error)
+	Put(dev *ssd.SSD)
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -97,13 +110,35 @@ func New(cfg Config) (*Array, error) {
 			tc.Device = i
 			dc.Telemetry = &tc
 		}
-		dev, err := ssd.New(dc)
+		var dev *ssd.SSD
+		var err error
+		if cfg.Pool != nil {
+			dev, err = cfg.Pool.Get(dc)
+		} else {
+			dev, err = ssd.New(dc)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("array: device %d: %w", i, err)
 		}
 		a.devs[i] = dev
 	}
 	return a, nil
+}
+
+// Release parks the member devices back in the configured pool. Call it
+// only after a cleanly completed run (the merged results share no memory
+// with the devices), and use neither the array nor its devices afterwards.
+// Without a pool, or on a second call, it is a no-op.
+func (a *Array) Release() {
+	if a.cfg.Pool == nil {
+		return
+	}
+	for i, dev := range a.devs {
+		if dev != nil {
+			a.cfg.Pool.Put(dev)
+			a.devs[i] = nil
+		}
+	}
 }
 
 // Devices returns the number of devices.

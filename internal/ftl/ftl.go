@@ -226,6 +226,12 @@ type FTL struct {
 	refreshing       flash.BlockAddr
 	refreshingActive bool
 
+	// blockPool holds block-status-table entries harvested by Reset so a
+	// reused FTL repopulates its lazily-allocated block table without
+	// fresh allocations. Entries keep their table slices (sized for this
+	// geometry); newBlock clears them on the way out.
+	blockPool []*block
+
 	stats Stats
 }
 
@@ -258,6 +264,55 @@ func New(opts Options) (*FTL, error) {
 	}
 	f.cwdp = allocationStripe(g, opts.Allocation)
 	return f, nil
+}
+
+// Reset returns the FTL to the erased-device state New would produce for
+// opts, reusing the existing storage: the dense L2P is refilled in place,
+// block-status-table entries are harvested into a pool that blockAt (and
+// Restore) draws from, and the free lists and pending-GC buffer keep their
+// backing arrays. The geometry must match the one the FTL was built with —
+// every table is sized for it — so a pooled FTL is keyed by geometry; any
+// other option may change freely. A reset FTL is indistinguishable from a
+// freshly built one, including its rng stream position.
+func (f *FTL) Reset(opts Options) error {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return err
+	}
+	if opts.Geometry != f.geom {
+		return fmt.Errorf("ftl: reset geometry %+v does not match device %+v", opts.Geometry, f.geom)
+	}
+	src := sim.NewCountedSource(opts.Seed ^ rngSeedMask)
+	sameOrder := opts.Order == f.opts.Order
+	f.opts = opts
+	f.cells = flash.NewCellModel(opts.Code)
+	if !sameOrder {
+		f.order = flash.NewProgramOrder(f.geom.WordlinesPerBlock, f.geom.BitsPerCell, opts.Order)
+	}
+	f.rng = rand.New(src)
+	f.rngSrc = src
+	f.l2p.reset()
+	for _, p := range f.planes {
+		for i, b := range p.blocks {
+			if b != nil {
+				f.blockPool = append(f.blockPool, b)
+				p.blocks[i] = nil
+			}
+		}
+		p.free = p.free[:0]
+		for b := f.geom.BlocksPerPlane - 1; b >= 0; b-- {
+			p.free = append(p.free, b)
+		}
+		p.active = -1
+	}
+	f.allocCursor = 0
+	f.cwdp = allocationStripe(f.geom, opts.Allocation)
+	clear(f.pendingGC)
+	f.pendingGC = f.pendingGC[:0]
+	f.refreshing = flash.BlockAddr{}
+	f.refreshingActive = false
+	f.stats = Stats{}
+	return nil
 }
 
 // validateAllocation checks that the order names each of C, W, D, P once.
@@ -371,14 +426,30 @@ func (f *FTL) pageCoords(page int) (wl int, t coding.PageType) {
 func (f *FTL) blockAt(pl flash.PlaneID, blk int) *block {
 	b := f.planes[pl].blocks[blk]
 	if b == nil {
-		b = &block{
-			valid:  make([]bool, f.geom.PagesPerBlock()),
-			rmap:   make([]LPN, f.geom.PagesPerBlock()),
-			wlKeep: make([]coding.ValidMask, f.geom.WordlinesPerBlock),
-		}
+		b = f.newBlock()
 		f.planes[pl].blocks[blk] = b
 	}
 	return b
+}
+
+// newBlock returns a zeroed block entry, reusing a pooled one (tables
+// cleared in place) when Reset has harvested any.
+func (f *FTL) newBlock() *block {
+	if n := len(f.blockPool); n > 0 {
+		b := f.blockPool[n-1]
+		f.blockPool[n-1] = nil
+		f.blockPool = f.blockPool[:n-1]
+		clear(b.valid)
+		clear(b.rmap)
+		clear(b.wlKeep)
+		*b = block{valid: b.valid, rmap: b.rmap, wlKeep: b.wlKeep}
+		return b
+	}
+	return &block{
+		valid:  make([]bool, f.geom.PagesPerBlock()),
+		rmap:   make([]LPN, f.geom.PagesPerBlock()),
+		wlKeep: make([]coding.ValidMask, f.geom.WordlinesPerBlock),
+	}
 }
 
 // wlValidMask returns the validity mask of a wordline.

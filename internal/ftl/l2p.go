@@ -31,6 +31,17 @@ func newL2P(capacity int64) *l2pTable {
 	return t
 }
 
+// reset unmaps everything, keeping the dense slice's backing array (refilled
+// with noPPN in place) so a pooled table is reusable without reallocating.
+// The sparse side is dropped: it only ever holds out-of-capacity entries.
+func (t *l2pTable) reset() {
+	for i := range t.dense {
+		t.dense[i] = noPPN
+	}
+	t.sparse = nil
+	t.count = 0
+}
+
 // get returns the mapping for lpn, if any.
 func (t *l2pTable) get(lpn LPN) (ppn, bool) {
 	if lpn >= 0 && int64(lpn) < int64(len(t.dense)) {

@@ -146,100 +146,72 @@ func (f *FTL) Snapshot() *State {
 // those). Restore validates shapes and internal consistency and returns an
 // error without touching the FTL on any mismatch, so a corrupt or mis-keyed
 // snapshot degrades to an ordinary replay instead of a poisoned run.
+//
+// The copy lands in the FTL's existing storage: the dense L2P and block
+// tables are overwritten in place (absent blocks return to the Reset pool,
+// newly-present ones draw from it), so a warm run on a pooled device
+// restores without a fresh deep copy. st itself is never aliased or
+// mutated — one cached State can still seed any number of devices,
+// concurrently.
 func (f *FTL) Restore(st *State) error {
-	if st == nil {
-		return fmt.Errorf("ftl: restore of nil state")
+	if err := f.validateState(st); err != nil {
+		return err
 	}
-	if st.Geometry != f.geom {
-		return fmt.Errorf("ftl: snapshot geometry %+v does not match device %+v", st.Geometry, f.geom)
-	}
-	if len(st.Planes) != len(f.planes) {
-		return fmt.Errorf("ftl: snapshot has %d planes, device has %d", len(st.Planes), len(f.planes))
-	}
-	pages := f.geom.PagesPerBlock()
 
-	// Build the new L2P aside, so failures leave the FTL untouched.
-	l2p := newL2P(f.geom.TotalPages())
-	if (l2p.dense != nil) != (st.DenseL2P != nil) {
-		return fmt.Errorf("ftl: snapshot dense-L2P form does not match device capacity")
-	}
-	count := 0
+	// Validation passed; everything below is infallible copying.
 	if st.DenseL2P != nil {
-		if len(st.DenseL2P) != len(l2p.dense) {
-			return fmt.Errorf("ftl: snapshot dense L2P has %d entries, device needs %d", len(st.DenseL2P), len(l2p.dense))
-		}
 		for i, v := range st.DenseL2P {
-			l2p.dense[i] = ppn(v)
-			if ppn(v) != noPPN {
-				count++
-			}
+			f.l2p.dense[i] = ppn(v)
 		}
 	}
+	f.l2p.sparse = nil
 	if len(st.SparseL2P) > 0 {
-		l2p.sparse = make(map[LPN]ppn, len(st.SparseL2P))
+		f.l2p.sparse = make(map[LPN]ppn, len(st.SparseL2P))
 		for k, v := range st.SparseL2P {
-			l2p.sparse[LPN(k)] = ppn(v)
-			count++
+			f.l2p.sparse[LPN(k)] = ppn(v)
 		}
 	}
-	if count != st.L2PCount {
-		return fmt.Errorf("ftl: snapshot L2P count %d does not match its %d entries", st.L2PCount, count)
-	}
-	l2p.count = count
+	f.l2p.count = st.L2PCount
 
-	planes := make([]*plane, len(st.Planes))
-	for pl, ps := range st.Planes {
-		if len(ps.Blocks) != f.geom.BlocksPerPlane {
-			return fmt.Errorf("ftl: snapshot plane %d has %d blocks, device has %d", pl, len(ps.Blocks), f.geom.BlocksPerPlane)
-		}
-		if ps.Active < -1 || ps.Active >= f.geom.BlocksPerPlane {
-			return fmt.Errorf("ftl: snapshot plane %d active block %d out of range", pl, ps.Active)
-		}
-		np := &plane{
-			active: ps.Active,
-			free:   append([]int(nil), ps.Free...),
-			blocks: make([]*block, len(ps.Blocks)),
-		}
-		for _, idx := range np.free {
-			if idx < 0 || idx >= f.geom.BlocksPerPlane {
-				return fmt.Errorf("ftl: snapshot plane %d free-list block %d out of range", pl, idx)
-			}
-		}
-		for blk, bs := range ps.Blocks {
+	for pl := range st.Planes {
+		ps := &st.Planes[pl]
+		np := f.planes[pl]
+		np.active = ps.Active
+		np.free = append(np.free[:0], ps.Free...)
+		for blk := range ps.Blocks {
+			bs := &ps.Blocks[blk]
 			if !bs.Present {
+				if b := np.blocks[blk]; b != nil {
+					f.blockPool = append(f.blockPool, b)
+					np.blocks[blk] = nil
+				}
 				continue
 			}
-			if len(bs.Valid) != pages || len(bs.RMap) != pages || len(bs.WLKeep) != f.geom.WordlinesPerBlock {
-				return fmt.Errorf("ftl: snapshot plane %d block %d has wrong table sizes", pl, blk)
+			b := np.blocks[blk]
+			if b == nil {
+				b = f.newBlock()
+				np.blocks[blk] = b
 			}
-			if bs.NextStep < 0 || bs.NextStep > pages {
-				return fmt.Errorf("ftl: snapshot plane %d block %d next step %d out of range", pl, blk, bs.NextStep)
-			}
-			np.blocks[blk] = &block{
-				eraseCount:   bs.EraseCount,
-				openedAt:     bs.OpenedAt,
-				programmedAt: bs.ProgrammedAt,
-				nextStep:     bs.NextStep,
-				validCount:   bs.ValidCount,
-				valid:        append([]bool(nil), bs.Valid...),
-				rmap:         append([]LPN(nil), bs.RMap...),
-				ida:          bs.IDA,
-				refreshed:    bs.Refreshed,
-				bad:          bs.Bad,
-				retired:      bs.Retired,
-				wlKeep:       append([]coding.ValidMask(nil), bs.WLKeep...),
-			}
+			b.eraseCount = bs.EraseCount
+			b.openedAt = bs.OpenedAt
+			b.programmedAt = bs.ProgrammedAt
+			b.nextStep = bs.NextStep
+			b.validCount = bs.ValidCount
+			copy(b.valid, bs.Valid)
+			copy(b.rmap, bs.RMap)
+			copy(b.wlKeep, bs.WLKeep)
+			b.ida = bs.IDA
+			b.refreshed = bs.Refreshed
+			b.bad = bs.Bad
+			b.retired = bs.Retired
 		}
-		planes[pl] = np
 	}
 
-	var pending []GCJob
-	if len(st.PendingGC) > 0 {
-		pending = make([]GCJob, len(st.PendingGC))
-		for i, job := range st.PendingGC {
-			job.Moves = append([]MoveOp(nil), job.Moves...)
-			pending[i] = job
-		}
+	clear(f.pendingGC)
+	f.pendingGC = f.pendingGC[:0]
+	for _, job := range st.PendingGC {
+		job.Moves = append([]MoveOp(nil), job.Moves...)
+		f.pendingGC = append(f.pendingGC, job)
 	}
 
 	// Rebuild the rng at the recorded stream position. The seed is derived
@@ -249,14 +221,71 @@ func (f *FTL) Restore(st *State) error {
 	src := sim.NewCountedSource(f.opts.Seed ^ rngSeedMask)
 	src.Skip(st.RNGDraws)
 
-	f.l2p = l2p
-	f.planes = planes
 	f.allocCursor = st.AllocCursor
-	f.pendingGC = pending
 	f.refreshing = st.Refreshing
 	f.refreshingActive = st.RefreshingActive
 	f.stats = st.Stats
 	f.rngSrc = src
 	f.rng = rand.New(src)
+	return nil
+}
+
+// validateState checks st against the FTL's shape without mutating either,
+// so Restore's copy phase cannot fail partway through.
+func (f *FTL) validateState(st *State) error {
+	if st == nil {
+		return fmt.Errorf("ftl: restore of nil state")
+	}
+	if st.Geometry != f.geom {
+		return fmt.Errorf("ftl: snapshot geometry %+v does not match device %+v", st.Geometry, f.geom)
+	}
+	if len(st.Planes) != len(f.planes) {
+		return fmt.Errorf("ftl: snapshot has %d planes, device has %d", len(st.Planes), len(f.planes))
+	}
+	if (f.l2p.dense != nil) != (st.DenseL2P != nil) {
+		return fmt.Errorf("ftl: snapshot dense-L2P form does not match device capacity")
+	}
+	count := 0
+	if st.DenseL2P != nil {
+		if len(st.DenseL2P) != len(f.l2p.dense) {
+			return fmt.Errorf("ftl: snapshot dense L2P has %d entries, device needs %d", len(st.DenseL2P), len(f.l2p.dense))
+		}
+		for _, v := range st.DenseL2P {
+			if ppn(v) != noPPN {
+				count++
+			}
+		}
+	}
+	count += len(st.SparseL2P)
+	if count != st.L2PCount {
+		return fmt.Errorf("ftl: snapshot L2P count %d does not match its %d entries", st.L2PCount, count)
+	}
+	pages := f.geom.PagesPerBlock()
+	for pl := range st.Planes {
+		ps := &st.Planes[pl]
+		if len(ps.Blocks) != f.geom.BlocksPerPlane {
+			return fmt.Errorf("ftl: snapshot plane %d has %d blocks, device has %d", pl, len(ps.Blocks), f.geom.BlocksPerPlane)
+		}
+		if ps.Active < -1 || ps.Active >= f.geom.BlocksPerPlane {
+			return fmt.Errorf("ftl: snapshot plane %d active block %d out of range", pl, ps.Active)
+		}
+		for _, idx := range ps.Free {
+			if idx < 0 || idx >= f.geom.BlocksPerPlane {
+				return fmt.Errorf("ftl: snapshot plane %d free-list block %d out of range", pl, idx)
+			}
+		}
+		for blk := range ps.Blocks {
+			bs := &ps.Blocks[blk]
+			if !bs.Present {
+				continue
+			}
+			if len(bs.Valid) != pages || len(bs.RMap) != pages || len(bs.WLKeep) != f.geom.WordlinesPerBlock {
+				return fmt.Errorf("ftl: snapshot plane %d block %d has wrong table sizes", pl, blk)
+			}
+			if bs.NextStep < 0 || bs.NextStep > pages {
+				return fmt.Errorf("ftl: snapshot plane %d block %d next step %d out of range", pl, blk, bs.NextStep)
+			}
+		}
+	}
 	return nil
 }

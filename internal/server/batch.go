@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -52,18 +53,44 @@ type BatchPoint struct {
 // Statz is the GET /statz body: the operational counters idaload and CI
 // assert on, beyond the lifetime run counters of /v1/stats.
 type Statz struct {
-	Server    Stats             `json:"server"`
-	Endpoints map[string]uint64 `json:"endpoints"`
-	Jobs      farm.Gauges       `json:"jobs"`
-	Results   results.Stats     `json:"results"`
+	Server    Stats              `json:"server"`
+	Endpoints map[string]uint64  `json:"endpoints"`
+	Jobs      farm.Gauges        `json:"jobs"`
+	Results   results.Stats      `json:"results"`
+	Runtime   RuntimeGauges      `json:"runtime"`
+	Arena     idaflash.PoolStats `json:"arena"`
+}
+
+// RuntimeGauges are the Go runtime's memory-pressure indicators, sampled at
+// request time. Together with Arena they make the effect of device pooling
+// observable in production: reuse hits climbing while HeapAlloc and the GC
+// counters stay flat is the run-arena working as intended.
+type RuntimeGauges struct {
+	// HeapAllocBytes is the live heap (runtime.MemStats.HeapAlloc).
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	// NumGC is the completed GC cycle count since process start.
+	NumGC uint32 `json:"num_gc"`
+	// PauseTotalNs is the cumulative stop-the-world pause time.
+	PauseTotalNs uint64 `json:"pause_total_ns"`
+	// Goroutines is the current goroutine count.
+	Goroutines int `json:"goroutines"`
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	writeJSON(w, http.StatusOK, Statz{
 		Server:    s.Stats(),
 		Endpoints: s.endpoints.snapshot(),
 		Jobs:      s.farm.Gauges(),
 		Results:   s.results.Stats(),
+		Runtime: RuntimeGauges{
+			HeapAllocBytes: ms.HeapAlloc,
+			NumGC:          ms.NumGC,
+			PauseTotalNs:   ms.PauseTotalNs,
+			Goroutines:     runtime.NumGoroutine(),
+		},
+		Arena: idaflash.ArenaStats(),
 	})
 }
 

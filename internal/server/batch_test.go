@@ -473,6 +473,11 @@ func TestStatzCounters(t *testing.T) {
 	if z.Server.Completed != 2 {
 		t.Errorf("server stats %+v", z.Server)
 	}
+	// Runtime gauges are sampled live: a serving process has a heap and at
+	// least this handler's goroutine.
+	if z.Runtime.HeapAllocBytes == 0 || z.Runtime.Goroutines == 0 {
+		t.Errorf("runtime gauges %+v", z.Runtime)
+	}
 }
 
 // TestRunCachedFlag: the second identical single run reports cached=true

@@ -75,6 +75,24 @@ func NewEngine() *Engine {
 	return &Engine{}
 }
 
+// Reset returns the engine to its as-constructed state — clock at zero, no
+// pending events, no context, no sticky stop error — while keeping the event
+// heap's backing array, so a pooled engine starts its next run without
+// reallocating the queue. Pending events are dropped (and zeroed, so their
+// callbacks are not retained); callers reset only between runs, when the
+// queue has drained anyway.
+func (e *Engine) Reset() {
+	clear(e.events)
+	e.events = e.events[:0]
+	e.now = 0
+	e.seq = 0
+	e.processed = 0
+	e.ctx = nil
+	e.stopErr = nil
+	e.sinceCheck = 0
+	e.nextCheckAt = 0
+}
+
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 

@@ -45,6 +45,16 @@ func (q *waiterQueue) Front() *Waiter {
 	return &q.buf[q.head]
 }
 
+// reset empties the ring for reuse, zeroing the occupied slots so callback
+// references are not retained, while keeping the backing array at its grown
+// capacity.
+func (q *waiterQueue) reset() {
+	for i := 0; i < q.size; i++ {
+		q.buf[(q.head+i)%len(q.buf)] = Waiter{}
+	}
+	q.head, q.size = 0, 0
+}
+
 // grow doubles the ring, unwrapping the elements into index order.
 func (q *waiterQueue) grow() {
 	n := len(q.buf) * 2

@@ -94,6 +94,19 @@ func NewResourceScheduled(e *Engine, name string, sched Scheduler) *Resource {
 // Name returns the resource's diagnostic name.
 func (r *Resource) Name() string { return r.name }
 
+// Reset returns the resource to its as-constructed state for reuse: idle,
+// empty queues, zeroed statistics. The scheduler keeps its grown ring
+// capacity. The engine must not hold a pending completion event for this
+// resource (reset only between runs, after the engine has drained).
+func (r *Resource) Reset() {
+	r.busy = false
+	r.seq = 0
+	r.stats = ResourceStats{}
+	r.hook = nil
+	r.current = Waiter{}
+	r.sched.Reset()
+}
+
 // Policy names the scheduling discipline serving this resource.
 func (r *Resource) Policy() Policy { return r.sched.Policy() }
 

@@ -79,6 +79,9 @@ type Scheduler interface {
 	Len() int
 	// Policy names the discipline, for diagnostics.
 	Policy() Policy
+	// Reset empties the queues for reuse, keeping their backing storage so
+	// a pooled resource starts its next run without reallocating rings.
+	Reset()
 }
 
 // SchedulerConfig selects and parameterizes a policy.
@@ -162,6 +165,12 @@ func (s *readFirstScheduler) Len() int {
 	return n
 }
 
+func (s *readFirstScheduler) Reset() {
+	for i := range s.queues {
+		s.queues[i].reset()
+	}
+}
+
 // fifoScheduler serves strictly in arrival order.
 type fifoScheduler struct {
 	queue waiterQueue
@@ -170,6 +179,7 @@ type fifoScheduler struct {
 func (s *fifoScheduler) Policy() Policy { return PolicyFIFO }
 func (s *fifoScheduler) Push(w Waiter)  { s.queue.Push(w) }
 func (s *fifoScheduler) Len() int       { return s.queue.Len() }
+func (s *fifoScheduler) Reset()         { s.queue.reset() }
 
 func (s *fifoScheduler) Pop(Time) (Waiter, bool) {
 	if s.queue.Len() == 0 {
@@ -227,4 +237,10 @@ func (s *ageAwareScheduler) Len() int {
 		n += s.queues[i].Len()
 	}
 	return n
+}
+
+func (s *ageAwareScheduler) Reset() {
+	for i := range s.queues {
+		s.queues[i].reset()
+	}
 }

@@ -347,8 +347,8 @@ func (s *SSD) replayTimed(reqs []workload.Request) error {
 // resetMetrics zeroes the host-visible accumulators so a subsequent phase
 // measures only itself. Device state and the simulated clock carry over.
 func (s *SSD) resetMetrics() {
-	s.readResp = stats.LatencyHist{}
-	s.writeResp = stats.LatencyHist{}
+	s.readResp.Reset()
+	s.writeResp.Reset()
 	s.readBytes, s.writeBytes = 0, 0
 	s.readReqs, s.writeReqs = 0, 0
 	s.unmapped = 0

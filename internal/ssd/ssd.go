@@ -139,6 +139,13 @@ type SSD struct {
 	writeOps []*writeOp
 	requests []*request
 
+	// Free lists for background charging (background.go): GC and refresh
+	// jobs run on pooled state machines instead of closure chains. The
+	// scan tick is a single reusable Action.
+	gcOps      []*gcOp
+	refreshOps []*refreshOp
+	scan       *refreshScan
+
 	// Fault injection (nil injector when no scenario is attached; see
 	// faults.go for the recovery path).
 	inj         *faults.Injector
@@ -236,6 +243,112 @@ func New(cfg Config) (*SSD, error) {
 		}
 	}
 	return s, nil
+}
+
+// Reset returns the device to the state New(cfg) would produce, reusing the
+// structures that dominate construction cost: the engine's event heap, the
+// FTL's dense L2P and block tables (via ftl.Reset's pool), the scheduler
+// ring buffers, the latency-histogram buckets, and the op/request free
+// lists all keep their backing storage. The geometry must match the one the
+// device was built with — every table is sized for it — so pooled devices
+// are keyed by geometry; any other config field may change between runs. A
+// reset device is observably identical to a fresh one: same rng streams,
+// same resource state, same zeroed accounting.
+//
+// Reset must not be called while a run is in progress. On error the device
+// is partially reinitialized and must be discarded, not reused.
+func (s *SSD) Reset(cfg Config) error {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return err
+	}
+	if cfg.Geometry != s.cfg.Geometry {
+		return fmt.Errorf("ssd: reset geometry %+v does not match device %+v", cfg.Geometry, s.cfg.Geometry)
+	}
+	sameSched := s.cfg.Scheduler == cfg.Scheduler && s.cfg.SchedulerMaxWait == cfg.SchedulerMaxWait
+
+	s.engine.Reset()
+	s.rng = rand.New(rand.NewSource(cfg.Seed ^ 0x53534421))
+	clear(s.adm.queue)
+	s.adm = admission{maxDepth: cfg.MaxQueueDepth, queue: s.adm.queue[:0]}
+
+	// The telemetry recorder is rebuilt per run (never pooled): exported
+	// spans and series outlive the run, so they must not alias reused
+	// storage. Same for the injector — it is cheap and seed-derived.
+	s.tel, s.dieWatch, s.chanWatch = nil, nil, nil
+	if cfg.Telemetry != nil {
+		s.tel = telemetry.New(*cfg.Telemetry)
+		s.dieWatch = &resourceWatch{}
+		s.chanWatch = &resourceWatch{}
+		cfg.FTL.Hooks = s.ftlHooks()
+	}
+	s.inj = nil
+	if cfg.Faults != nil {
+		s.inj = faults.NewInjector(cfg.Faults, cfg.Seed, cfg.FaultDevice)
+		cfg.FTL.Faults = s.inj
+	}
+	if err := s.f.Reset(cfg.FTL); err != nil {
+		return err
+	}
+	s.cfg = cfg
+	s.pageSize = cfg.Geometry.PageSizeBytes
+
+	// Resources reset in place when the scheduling discipline is unchanged;
+	// a different discipline rebuilds the per-resource scheduler instances
+	// exactly as New would.
+	sched := cfg.schedulerConfig()
+	for i := range s.dies {
+		if sameSched {
+			s.dies[i].Reset()
+		} else {
+			inst, err := sched.New()
+			if err != nil {
+				return err
+			}
+			s.dies[i] = sim.NewResourceScheduled(s.engine, fmt.Sprintf("die%d", i), inst)
+		}
+		if s.dieWatch != nil {
+			s.dies[i].SetHook(s.dieWatch)
+		}
+	}
+	for i := range s.channels {
+		if sameSched {
+			s.channels[i].Reset()
+		} else {
+			inst, err := sched.New()
+			if err != nil {
+				return err
+			}
+			s.channels[i] = sim.NewResourceScheduled(s.engine, fmt.Sprintf("ch%d", i), inst)
+		}
+		if s.chanWatch != nil {
+			s.channels[i].SetHook(s.chanWatch)
+		}
+	}
+
+	s.faultStats = FaultStats{}
+	s.failedReads = nil
+	s.lastHostDone = 0
+	s.busyStart = 0
+	s.busySpan = 0
+	s.phaseStart = 0
+	s.readResp.Reset()
+	s.writeResp.Reset()
+	s.readBytes, s.writeBytes = 0, 0
+	s.readReqs, s.writeReqs = 0, 0
+	s.unmapped = 0
+	s.gcBusy, s.refreshBusy = 0, 0
+	s.peakInUse, s.peakIDA = 0, 0
+	s.scanning = false
+	if s.scan != nil {
+		s.scan.moreWork = nil
+	}
+	s.dispatchStats = DispatchStats{}
+	s.flashStats = FlashStats{}
+	s.lastDieBusy, s.lastChanBusy = 0, 0
+	s.lastPerChanBusy = nil
+	s.lastGCBusy, s.lastRefreshBusy = 0, 0
+	return nil
 }
 
 // fail aborts the in-progress run: the engine's loop stops after the event

@@ -149,6 +149,15 @@ func (h *LatencyHist) Add(d time.Duration) {
 	h.sum += d
 }
 
+// Reset empties the histogram for reuse, zeroing the bucket array in place
+// instead of dropping it, so a pooled histogram records its next run without
+// reallocating.
+func (h *LatencyHist) Reset() {
+	clear(h.buckets)
+	h.total = 0
+	h.sum = 0
+}
+
 // N returns the number of recorded durations.
 func (h *LatencyHist) N() uint64 { return h.total }
 

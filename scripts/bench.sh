@@ -20,7 +20,7 @@ label="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}"
 count="${2:-5}"
 out="BENCH_${label}.json"
 
-benches='BenchmarkEngine$|BenchmarkSingleRun$|BenchmarkSingleRunIDA$|BenchmarkCodingMerge$|BenchmarkCodingPlan$|BenchmarkTraceGeneration$|BenchmarkSnapshotRestore$|BenchmarkFigure8Snapshotted$'
+benches='BenchmarkEngine$|BenchmarkSingleRun$|BenchmarkSingleRunIDA$|BenchmarkCodingMerge$|BenchmarkCodingPlan$|BenchmarkTraceGeneration$|BenchmarkSnapshotRestore$|BenchmarkFigure8Snapshotted$|BenchmarkFarmThroughput$'
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -29,10 +29,17 @@ echo "running: $benches (count=$count)" >&2
 go test -run '^$' -bench "$benches" -benchmem -count "$count" . | tee "$raw" >&2
 
 awk -v label="$label" '
+  # Pick metrics by unit token, not column position: benchmarks that
+  # ReportMetric extra values (FarmThroughput reports runs/s) shift the
+  # B/op and allocs/op columns.
   /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns[name] += $3;    b[name] += $5;    allocs[name] += $7
+    for (i = 3; i < NF; i++) {
+      if ($(i + 1) == "ns/op") ns[name] += $i
+      else if ($(i + 1) == "B/op") b[name] += $i
+      else if ($(i + 1) == "allocs/op") allocs[name] += $i
+    }
     cnt[name]++
     if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
   }
@@ -50,13 +57,13 @@ awk -v label="$label" '
 echo "wrote $out" >&2
 cat "$out"
 
-# Diff against the PR4 baseline when it exists: a per-benchmark delta table
-# so the snapshot is self-explaining next to the committed history.
-baseline="BENCH_PR4.json"
-if [[ -f "$baseline" && "$out" != "$baseline" ]]; then
-  echo >&2
-  echo "delta vs $baseline (ns/op):" >&2
-  python3 - "$baseline" "$out" >&2 <<'PY' || true
+# Diff against the committed PR baselines when they exist: a per-benchmark
+# delta table so the snapshot is self-explaining next to the history.
+for baseline in BENCH_PR4.json BENCH_PR7.json; do
+  if [[ -f "$baseline" && "$out" != "$baseline" ]]; then
+    echo >&2
+    echo "delta vs $baseline (ns/op):" >&2
+    python3 - "$baseline" "$out" >&2 <<'PY' || true
 import json, sys
 base = json.load(open(sys.argv[1]))["benchmarks"]
 cur = json.load(open(sys.argv[2]))["benchmarks"]
@@ -69,4 +76,5 @@ for name, c in cur.items():
     delta = (c["ns_per_op"] - b["ns_per_op"]) / b["ns_per_op"] * 100
     print(f"  {name:<{width}}  {b['ns_per_op']:>14.1f} -> {c['ns_per_op']:>14.1f}  {delta:+6.1f}%")
 PY
-fi
+  fi
+done
