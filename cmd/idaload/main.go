@@ -6,7 +6,7 @@
 //
 //	idaload -url http://127.0.0.1:8080 [-rate 20] [-ramp 2s] [-duration 10s]
 //	        [-concurrency 32] [-profiles usr_1,proj_3] [-requests 2000]
-//	        [-prime] [-json]
+//	        [-wait-ready 15s] [-prime] [-json]
 //	        [-max-p99 500ms] [-max-shed-rate 0] [-min-hit-rate 0.9]
 //
 // The generator cycles over a small point set (each profile as Baseline and
@@ -15,6 +15,11 @@
 // loop): a slow server faces the same arrival pressure a fast one does,
 // which is what makes shed behavior observable. -concurrency caps in-flight
 // requests; arrivals beyond it are counted as local drops, not sent.
+//
+// -wait-ready polls GET /healthz with backoff until the server answers (or
+// the window expires), so idaserver and idaload can be launched together —
+// in CI or a chaos script — without sleeps; connection refusals during
+// server boot are part of the wait, never counted as load errors.
 //
 // With -prime, every distinct point is run once, serially, before the timed
 // phase, so the measured traffic is served from the result cache — the
@@ -81,6 +86,7 @@ func main() {
 		profiles    = flag.String("profiles", "usr_1", "comma-separated workload profiles to cycle")
 		requests    = flag.Int("requests", 2000, "per-trace request budget sent with every run")
 		timeoutMs   = flag.Int64("timeout-ms", 60_000, "per-run timeout sent with every run")
+		waitReady   = flag.Duration("wait-ready", 15*time.Second, "poll /healthz with backoff for up to this long before starting; 0 skips the wait")
 		prime       = flag.Bool("prime", false, "run every distinct point once, serially, before the timed phase")
 		asJSON      = flag.Bool("json", false, "emit the report as JSON")
 		maxP99      = flag.Duration("max-p99", 0, "fail (exit 2) when the OK-response P99 exceeds this; 0 disables")
@@ -95,6 +101,13 @@ func main() {
 		os.Exit(1)
 	}
 	client := &http.Client{Timeout: time.Duration(*timeoutMs+30_000) * time.Millisecond}
+
+	if *waitReady > 0 {
+		if err := waitForServer(client, *url, *waitReady); err != nil {
+			fmt.Fprintln(os.Stderr, "idaload:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *prime {
 		for _, pt := range points {
@@ -157,6 +170,37 @@ func main() {
 	}
 	if fail {
 		os.Exit(2)
+	}
+}
+
+// waitForServer polls /healthz until the server answers 200, backing off
+// from 25ms to 500ms between attempts. A booting server's connection
+// refusals are expected here — the whole point is launching server and
+// client together without sleeps — so only the deadline turns them into an
+// error.
+func waitForServer(client *http.Client, url string, window time.Duration) error {
+	deadline := time.Now().Add(window)
+	delay := 25 * time.Millisecond
+	var lastErr error
+	for {
+		resp, err := client.Get(url + "/healthz")
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("status %d", code)
+		} else {
+			lastErr = err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server not ready after %v: %v", window, lastErr)
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > 500*time.Millisecond {
+			delay = 500 * time.Millisecond
+		}
 	}
 }
 

@@ -6,7 +6,7 @@
 //
 //	idaserver [-listen :8080] [-workers N] [-queue N] [-requests N]
 //	          [-timeout 2m] [-max-timeout 10m] [-drain-timeout 30s]
-//	          [-store-dir dir] [-pprof-listen addr]
+//	          [-store-dir dir] [-store-sync] [-pprof-listen addr]
 //
 // Endpoints:
 //
@@ -22,7 +22,12 @@
 // With -store-dir, aged-device snapshots and simulation result payloads are
 // persisted content-addressed under one directory with a shared eviction
 // budget, so identical runs and whole batches are served from disk across
-// restarts, byte for byte.
+// restarts, byte for byte. Batch jobs become durable too: each submission
+// writes a CRC-checked write-ahead journal under <store-dir>/jobs, and a
+// restarted server resumes unfinished jobs under their original IDs,
+// re-running only the points whose results are not already stored.
+// -store-sync additionally fsyncs every blob write (the journal always
+// syncs), trading write latency for power-loss durability.
 //
 // On SIGTERM or interrupt the server stops accepting work (/readyz flips to
 // 503, queued runs are rejected), gives in-flight runs the drain timeout to
@@ -42,10 +47,12 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"idaflash"
+	"idaflash/internal/farm"
 	"idaflash/internal/server"
 )
 
@@ -58,7 +65,8 @@ func main() {
 		timeout      = flag.Duration("timeout", 2*time.Minute, "default per-run deadline")
 		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "largest per-run deadline a client may request")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight runs get to finish on shutdown")
-		storeDir     = flag.String("store-dir", "", "persist snapshots and result payloads content-addressed under this directory")
+		storeDir     = flag.String("store-dir", "", "persist snapshots, result payloads, and the batch-job journal under this directory")
+		storeSync    = flag.Bool("store-sync", false, "fsync every store blob write so the cache survives power loss (the job journal always syncs)")
 		snapDir      = flag.String("snapshot-dir", "", "deprecated alias for -store-dir")
 		pprofListen  = flag.String("pprof-listen", "", "serve net/http/pprof debug endpoints on this address (e.g. localhost:6060); empty disables them")
 	)
@@ -67,11 +75,20 @@ func main() {
 	if warn != "" {
 		fmt.Fprintln(os.Stderr, "idaserver:", warn)
 	}
+	logger := log.New(os.Stderr, "idaserver: ", log.LstdFlags)
+	var journal *farm.Journal
 	if dir != "" {
-		if err := idaflash.SetStoreDir(dir); err != nil {
+		if err := idaflash.SetStoreDirSync(dir, *storeSync); err != nil {
 			fmt.Fprintln(os.Stderr, "idaserver:", err)
 			os.Exit(1)
 		}
+		j, err := farm.OpenJournal(filepath.Join(dir, "jobs"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "idaserver:", err)
+			os.Exit(1)
+		}
+		j.Logf = logger.Printf
+		journal = j
 	}
 	if *pprofListen != "" {
 		// The profiling listener is deliberately separate from the API
@@ -90,7 +107,8 @@ func main() {
 		Requests:       *requests,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
-		Log:            log.New(os.Stderr, "idaserver: ", log.LstdFlags),
+		Log:            logger,
+		Journal:        journal,
 	}, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "idaserver:", err)
 		os.Exit(1)
@@ -103,6 +121,11 @@ func run(listen string, cfg server.Config, drainTimeout time.Duration) error {
 		// Result payloads share the snapshot store's disk root (and its
 		// eviction budget), so a repeated batch survives a restart.
 		srv.ResultStore().SetBlobs(d.Sub(idaflash.ExtResult))
+	}
+	// Recover after the blob tier is attached, so a resumed job's
+	// already-computed points are store hits, not fresh simulations.
+	if n := srv.RecoverJobs(); n > 0 {
+		cfg.Log.Printf("resumed %d unfinished job(s) from the journal", n)
 	}
 	hs := &http.Server{Addr: listen, Handler: srv.Handler()}
 

@@ -68,6 +68,7 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit the full Results struct as JSON")
 
 		storeDir    = flag.String("store-dir", "", "persist aged device-state snapshots content-addressed in this directory, restoring the aging preamble in O(state) on later runs")
+		storeSync   = flag.Bool("store-sync", false, "fsync every store blob write so the snapshot cache survives power loss")
 		snapDir     = flag.String("snapshot-dir", "", "deprecated alias for -store-dir")
 		noSnapshot  = flag.Bool("no-snapshot", false, "replay the aging preamble from scratch instead of reusing device-state snapshots")
 		noPool      = flag.Bool("no-pool", false, "build a fresh device per run instead of reusing pooled simulation state")
@@ -136,7 +137,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-store-dir and -no-snapshot are mutually exclusive")
 			os.Exit(1)
 		}
-		if err := idaflash.SetStoreDir(dir); err != nil {
+		if err := idaflash.SetStoreDirSync(dir, *storeSync); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

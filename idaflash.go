@@ -531,7 +531,16 @@ var (
 // eviction budget. Blobs are written atomically, survive the process, and
 // every corruption or version-skew failure mode degrades to a cache miss.
 // An empty dir detaches the root.
-func SetStoreDir(dir string) error {
+func SetStoreDir(dir string) error { return SetStoreDirSync(dir, false) }
+
+// SetStoreDirSync is SetStoreDir with an explicit durability policy: with
+// sync, every blob write fsyncs the file and its directory, so committed
+// blobs survive power loss instead of just process death. The default stays
+// off — blobs are a cache, and a lost one is a miss — behind the
+// -store-sync flag on idasim and idaserver for deployments where the
+// store's warmth is worth a sync per write. (The farm's job journal always
+// syncs, regardless of this setting: jobs are promises, not caches.)
+func SetStoreDirSync(dir string, sync bool) error {
 	storeMu.Lock()
 	defer storeMu.Unlock()
 	if dir == "" {
@@ -539,7 +548,7 @@ func SetStoreDir(dir string) error {
 		DefaultSnapshots.SetBlobs(nil)
 		return nil
 	}
-	d, err := results.OpenDisk(dir, 0)
+	d, err := results.OpenDiskOptions(dir, results.DiskOptions{Sync: sync})
 	if err != nil {
 		return err
 	}

@@ -56,6 +56,10 @@ type Config struct {
 	// Classify maps a non-context run error onto a wire kind ("invariant",
 	// "internal", ...); nil classifies everything as "internal".
 	Classify func(error) string
+	// Journal, when set, makes jobs durable: every submission writes a
+	// write-ahead log (spec, point completions, terminal state) that
+	// Recover replays after a restart. Nil keeps jobs process-local.
+	Journal *Journal
 }
 
 func (c Config) withDefaults() Config {
@@ -84,10 +88,19 @@ type PointResult struct {
 
 // Job states.
 const (
-	StateRunning   = "running"
-	StateDone      = "done"
-	StateCancelled = "cancelled"
+	StateRunning = "running"
+	// StateRecovering marks a job rebuilt from its journal after a restart:
+	// already-recorded points were replayed into the event log and the rest
+	// are running again. It behaves like StateRunning everywhere and
+	// resolves to done/cancelled the same way.
+	StateRecovering = "recovering"
+	StateDone       = "done"
+	StateCancelled  = "cancelled"
 )
+
+// terminalState reports whether a job has finished (as opposed to running
+// or recovering).
+func terminalState(s string) bool { return s == StateDone || s == StateCancelled }
 
 // Status is a job snapshot: the poll body of GET /v1/jobs/{id} and the
 // payload of a stream's terminal event.
@@ -103,6 +116,8 @@ type Status struct {
 	// point events emitted so far).
 	NextEvent int           `json:"next_event"`
 	Points    []PointResult `json:"points,omitempty"`
+	// Recovered marks a job that survived a server restart via its journal.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // Event is one streamed message: exactly one of Point (a point finished) or
@@ -135,6 +150,9 @@ type Job struct {
 	subs      []chan Event
 	finishSeq uint64 // retention order among finished jobs
 	doneCh    chan struct{}
+
+	log       *JobLog // write-ahead log; nil when the manager has no journal
+	recovered bool    // rebuilt from the journal after a restart
 }
 
 // SubmitOptions tune one job.
@@ -148,6 +166,8 @@ type SubmitOptions struct {
 type Gauges struct {
 	ActiveJobs   int64 `json:"active_jobs"`
 	QueuedPoints int64 `json:"queued_points"`
+	// Recovered counts jobs rebuilt from the journal since startup.
+	Recovered int64 `json:"recovered"`
 }
 
 // Manager owns the jobs and the single dispatcher goroutine.
@@ -162,8 +182,9 @@ type Manager struct {
 	finishSeq uint64
 	active    int // unfinished jobs
 
-	queued atomic.Int64
-	kick   chan struct{}
+	queued     atomic.Int64
+	recoveredN atomic.Int64
+	kick       chan struct{}
 }
 
 // New starts a manager and its dispatcher. The dispatcher exits after
@@ -183,7 +204,8 @@ func (m *Manager) Gauges() Gauges {
 	m.mu.Lock()
 	active := m.active
 	m.mu.Unlock()
-	return Gauges{ActiveJobs: int64(active), QueuedPoints: m.queued.Load()}
+	return Gauges{ActiveJobs: int64(active), QueuedPoints: m.queued.Load(),
+		Recovered: m.recoveredN.Load()}
 }
 
 // Submit enqueues one job over the given points. The job starts immediately
@@ -218,6 +240,19 @@ func (m *Manager) Submit(points []experiments.Point, opts SubmitOptions) (*Job, 
 	j.pending = make([]int, len(points))
 	for i := range points {
 		j.pending[i] = i
+	}
+	if m.cfg.Journal != nil {
+		// Fail soft: a job whose journal cannot be created still runs, it
+		// just dies with the process like a pre-journal job would.
+		log, err := m.cfg.Journal.Create(j.ID, JobSpec{
+			Points:         points,
+			PointTimeoutMs: opts.PointTimeout.Milliseconds(),
+		})
+		if err != nil {
+			m.cfg.Journal.logf("farm: job %s not journaled: %v", j.ID, err)
+		} else {
+			j.log = log
+		}
 	}
 	m.jobs[j.ID] = j
 	m.rr = append(m.rr, j)
@@ -430,6 +465,10 @@ func (m *Manager) recordLocked(j *Job, pr PointResult) {
 	default:
 		j.failed++
 	}
+	// Journal before fan-out: once a subscriber has seen event N, a
+	// restarted server must be able to replay events 0..N, so the fsynced
+	// append happens strictly before the event leaves the process.
+	j.log.Point(pr)
 	ev := Event{Point: &pr}
 	j.events = append(j.events, ev)
 	for _, ch := range j.subs {
@@ -448,6 +487,8 @@ func (m *Manager) finishLocked(j *Job) {
 	if j.ctx.Err() != nil || j.cancelled > 0 {
 		j.state = StateCancelled
 	}
+	j.log.State(j.state)
+	j.log.Close()
 	done := j.statusLocked(false)
 	for _, ch := range j.subs {
 		ch <- Event{Done: &done}
@@ -463,7 +504,7 @@ func (m *Manager) finishLocked(j *Job) {
 	finished := 0
 	var oldest *Job
 	for _, other := range m.jobs {
-		if other.state == StateRunning {
+		if !terminalState(other.state) {
 			continue
 		}
 		finished++
@@ -473,6 +514,7 @@ func (m *Manager) finishLocked(j *Job) {
 	}
 	if finished > m.cfg.Retain && oldest != nil {
 		delete(m.jobs, oldest.ID)
+		m.cfg.Journal.Remove(oldest.ID)
 	}
 }
 
@@ -508,6 +550,7 @@ func (j *Job) statusLocked(withPoints bool) Status {
 		Cancelled: j.cancelled,
 		CacheHits: j.cacheHits,
 		NextEvent: len(j.events),
+		Recovered: j.recovered,
 	}
 	if withPoints {
 		for _, pr := range j.results {
@@ -524,7 +567,8 @@ func (j *Job) statusLocked(withPoints bool) Status {
 // delivered). The channel is buffered for the job's full event volume, so
 // the manager never blocks on a slow subscriber, and it closes after the
 // terminal Done event. The returned stop function detaches early (a
-// disconnected client); it is safe to call after the channel closed.
+// disconnected client) and closes the channel, so a reader ranging over it
+// terminates; it is safe to call after the channel closed.
 func (j *Job) Subscribe(from int) (<-chan Event, func()) {
 	m := j.m
 	m.mu.Lock()
@@ -539,7 +583,7 @@ func (j *Job) Subscribe(from int) (<-chan Event, func()) {
 	for _, ev := range j.events[from:] {
 		ch <- ev
 	}
-	if j.state != StateRunning {
+	if terminalState(j.state) {
 		done := j.statusLocked(false)
 		ch <- Event{Done: &done}
 		close(ch)
@@ -551,7 +595,12 @@ func (j *Job) Subscribe(from int) (<-chan Event, func()) {
 		defer m.mu.Unlock()
 		for i, sub := range j.subs {
 			if sub == ch {
+				// Sends and closes both happen under m.mu and only to
+				// channels still in subs, so removing first makes this
+				// close exactly-once: a finished job already closed the
+				// channel and cleared the list, and this branch is skipped.
 				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				close(ch)
 				return
 			}
 		}

@@ -63,7 +63,9 @@ func waitGoroutines(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	t.Errorf("goroutines did not settle: %d running, baseline %d", n, baselineGoroutines)
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Errorf("goroutines did not settle: %d running, baseline %d\n%s", n, baselineGoroutines, buf)
 }
 
 var baselineGoroutines = runtime.NumGoroutine()

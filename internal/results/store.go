@@ -2,6 +2,7 @@ package results
 
 import (
 	"context"
+	"encoding/json"
 	"sync"
 	"sync/atomic"
 )
@@ -28,6 +29,7 @@ type Store struct {
 	order   []string // LRU, front = oldest; only published keys
 	limit   int
 	blobs   blobTier
+	disk    *Disk // health plumbing; nil when blobs is absent or synthetic
 
 	hits, misses atomic.Uint64
 }
@@ -37,6 +39,7 @@ type Store struct {
 type blobTier interface {
 	Get(key string) []byte
 	Put(key string, b []byte)
+	Delete(key string)
 }
 
 // resEntry is one key's payload, published or in flight. ready closes
@@ -68,10 +71,25 @@ func (s *Store) SetBlobs(b *Blobs) {
 	s.mu.Lock()
 	if b == nil {
 		s.blobs = nil
+		s.disk = nil
 	} else {
 		s.blobs = b
+		s.disk = b.Disk()
 	}
 	s.mu.Unlock()
+}
+
+// Health reports the disk tier's failure state, or nil when the store is
+// memory-only by configuration (no disk attached — nothing to degrade).
+func (s *Store) Health() *DiskHealth {
+	s.mu.Lock()
+	d := s.disk
+	s.mu.Unlock()
+	if d == nil {
+		return nil
+	}
+	h := d.Health()
+	return &h
 }
 
 // Stats are the store's lifetime counters.
@@ -80,6 +98,8 @@ type Stats struct {
 	Misses uint64 `json:"misses"`
 	// Entries is the current in-memory population.
 	Entries int `json:"entries"`
+	// Disk is the disk tier's failure state; omitted when memory-only.
+	Disk *DiskHealth `json:"disk,omitempty"`
 }
 
 // Stats snapshots the counters.
@@ -87,7 +107,7 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	n := len(s.entries)
 	s.mu.Unlock()
-	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Entries: n}
+	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Entries: n, Disk: s.Health()}
 }
 
 // GetOrCompute resolves key: from memory, from disk, or by running compute
@@ -119,9 +139,15 @@ func (s *Store) GetOrCompute(ctx context.Context, key string, compute func(conte
 
 		if blobs != nil {
 			if payload := blobs.Get(key); payload != nil {
-				s.publishLocked(key, e, payload)
-				s.hits.Add(1)
-				return payload, true, nil
+				// Result payloads are canonical JSON and the blob files carry
+				// no checksum, so a torn write shows up here as an invalid
+				// document. Drop it and recompute rather than serve garbage.
+				if json.Valid(payload) {
+					s.publishLocked(key, e, payload)
+					s.hits.Add(1)
+					return payload, true, nil
+				}
+				blobs.Delete(key)
 			}
 		}
 		s.misses.Add(1)

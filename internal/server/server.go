@@ -52,6 +52,10 @@ type Config struct {
 	Requests int
 	// Log receives one line per completed request; nil discards.
 	Log *log.Logger
+	// Journal, when set, makes batch jobs durable: submissions write a
+	// per-job write-ahead log under the store root, and RecoverJobs resumes
+	// unfinished jobs (same ID, contiguous event log) after a restart.
+	Journal *farm.Journal
 }
 
 func (c Config) withDefaults() Config {
@@ -175,8 +179,32 @@ func New(cfg Config) *Server {
 		Run:      s.runPoint,
 		Parent:   s.runsCtx,
 		Classify: classifyRunError,
+		Journal:  cfg.Journal,
 	})
 	return s
+}
+
+// RecoverJobs resumes unfinished journaled jobs and returns how many it
+// found. Call once at startup, after the result store's blob tier is
+// attached (so resumed points hit warm results) and before serving traffic.
+// Each recovered job counts as in-flight work for Drain, like a freshly
+// submitted batch.
+func (s *Server) RecoverJobs() int {
+	jobs := s.farm.Recover()
+	for _, job := range jobs {
+		job := job
+		s.inflight.Add(1)
+		go func() {
+			<-job.Done()
+			s.inflight.Done()
+		}()
+		if s.cfg.Log != nil {
+			st := job.Status(false)
+			s.cfg.Log.Printf("recovered job %s: %d/%d points already recorded",
+				job.ID, st.NextEvent, st.Total)
+		}
+	}
+	return len(jobs)
 }
 
 // ResultStore returns the server's result cache, so startup code can attach
@@ -361,13 +389,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleReadyz reports readiness for new work: 503 once draining begins, so
 // a load balancer or orchestrator routes around the instance while its
-// in-flight runs finish.
+// in-flight runs finish. A degraded result-store disk is reported as a
+// detail field but stays 200 — the server serves traffic uncached rather
+// than failing runs, and flipping readiness would turn a sick disk into an
+// outage.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "draining", "draining")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	body := map[string]string{"status": "ready"}
+	if h := s.results.Health(); h != nil {
+		body["store"] = "ok"
+		if h.Degraded {
+			body["store"] = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
